@@ -1,0 +1,12 @@
+"""Ablation: online model correction under heavy inputs (extension, §5.6)."""
+
+from repro.experiments import exp_ablation_model
+
+
+def test_ablation_online_model(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_ablation_model.run(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == len(exp_ablation_model.SCALE_FACTORS) * len(
+        exp_ablation_model.POLICIES
+    )

@@ -1,0 +1,12 @@
+"""Ablation: straggler mitigation via speculative duplicates (extension, §4.4)."""
+
+from repro.experiments import exp_ablation_speculation
+
+
+def test_ablation_speculation(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_ablation_speculation.run(scale)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(report.rows) == len(exp_ablation_speculation.SETTINGS)

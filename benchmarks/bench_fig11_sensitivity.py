@@ -1,0 +1,10 @@
+"""Fig. 11: control-loop sensitivity analysis."""
+
+from repro.experiments import exp_fig11
+
+
+def test_fig11_sensitivity(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_fig11.run(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 7

@@ -1,0 +1,17 @@
+"""Fig. 12 + Fig. 13: slack and hysteresis sweeps."""
+
+from repro.experiments import exp_fig12_13
+
+
+def test_fig12_slack(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_fig12_13.run_fig12(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == len(exp_fig12_13.SLACK_VALUES)
+
+
+def test_fig13_hysteresis(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_fig12_13.run_fig13(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == len(exp_fig12_13.HYSTERESIS_VALUES)

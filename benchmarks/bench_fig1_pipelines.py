@@ -1,0 +1,10 @@
+"""Fig. 1: inter-job dependency CDFs."""
+
+from repro.experiments import exp_fig1
+
+
+def test_fig1_pipelines(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_fig1.run(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 4

@@ -1,0 +1,11 @@
+"""Fig. 4 + Fig. 5: the headline policy comparison."""
+
+from repro.experiments import exp_fig4_5
+
+
+def test_fig4_fig5_policies(benchmark, scale, save_report):
+    fig4, fig5 = benchmark.pedantic(
+        lambda: save_report(*exp_fig4_5.run(scale)), rounds=1, iterations=1
+    )
+    assert len(fig4.rows) == 4
+    assert len(fig5.rows) == 4

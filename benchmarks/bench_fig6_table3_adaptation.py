@@ -1,0 +1,11 @@
+"""Fig. 6 + Table 3: dynamic adaptation case studies."""
+
+from repro.experiments import exp_fig6_table3
+
+
+def test_fig6_table3_adaptation(benchmark, scale, save_report):
+    fig6, table3 = benchmark.pedantic(
+        lambda: save_report(*exp_fig6_table3.run(scale)), rounds=1, iterations=1
+    )
+    assert fig6.extra_sections
+    assert table3.rows

@@ -1,0 +1,10 @@
+"""Fig. 7: adapting to mid-run deadline changes."""
+
+from repro.experiments import exp_fig7
+
+
+def test_fig7_deadline_change(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_fig7.run(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 3

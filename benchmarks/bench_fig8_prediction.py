@@ -1,0 +1,10 @@
+"""Fig. 8: latency prediction accuracy, simulator vs Amdahl's Law."""
+
+from repro.experiments import exp_fig8
+
+
+def test_fig8_prediction(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_fig8.run(scale)), rounds=1, iterations=1
+    )
+    assert report.rows[-1][0] == "average"

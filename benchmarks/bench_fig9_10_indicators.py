@@ -1,0 +1,11 @@
+"""Fig. 9 + Fig. 10: job progress indicator comparison."""
+
+from repro.experiments import exp_fig9_10
+
+
+def test_fig9_fig10_indicators(benchmark, scale, save_report):
+    fig9, fig10 = benchmark.pedantic(
+        lambda: save_report(*exp_fig9_10.run(scale)), rounds=1, iterations=1
+    )
+    assert fig9.extra_sections
+    assert len(fig10.rows) == 6

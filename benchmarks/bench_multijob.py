@@ -1,0 +1,10 @@
+"""Extension: co-executing SLO jobs — independent Jockeys vs the arbiter."""
+
+from repro.experiments import exp_multijob
+
+
+def test_multijob_coordination(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_multijob.run(scale)), rounds=1, iterations=1
+    )
+    assert len(report.rows) == 2

@@ -1,0 +1,11 @@
+"""§2.4 spare-variance and §3.2 quota-sizing motivation studies."""
+
+from repro.experiments import exp_section24
+
+
+def test_section24_motivation(benchmark, scale, save_report):
+    sec24, sec32 = benchmark.pedantic(
+        lambda: save_report(*exp_section24.run(scale)), rounds=1, iterations=1
+    )
+    assert sec24.rows
+    assert len(sec32.rows) == 2

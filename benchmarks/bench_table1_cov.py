@@ -1,0 +1,10 @@
+"""Table 1: CoV of completion times across runs of recurring jobs."""
+
+from repro.experiments import exp_table1
+
+
+def test_table1_cov(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_table1.run(scale)), rounds=1, iterations=1
+    )
+    assert report.rows, "table 1 produced no rows"

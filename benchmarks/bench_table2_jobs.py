@@ -1,0 +1,10 @@
+"""Table 2 + Fig. 3: evaluation job statistics and stage DAGs."""
+
+from repro.experiments import exp_table2
+
+
+def test_table2_jobs(benchmark, scale, save_report):
+    (report,) = benchmark.pedantic(
+        lambda: save_report(exp_table2.run(scale)), rounds=1, iterations=1
+    )
+    assert report.rows

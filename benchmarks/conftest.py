@@ -1,0 +1,39 @@
+"""Shared benchmark scaffolding.
+
+Each benchmark regenerates one of the paper's tables/figures and saves the
+rendered report under ``results/``.  Scale is selected with the
+``REPRO_SCALE`` environment variable (``smoke``, ``default`` — the normal
+benchmark setting — or ``paper`` for full experiment counts).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.scenarios import SCALES
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_SCALE", "default")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(*reports):
+        for report in reports:
+            path = RESULTS_DIR / f"{report.experiment_id.replace('+', '_')}.txt"
+            path.write_text(report.render() + "\n", encoding="utf-8")
+            print()
+            print(report.render())
+        return reports
+
+    return _save

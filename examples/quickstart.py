@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Quickstart: give one job a latency SLO with Jockey.
+
+Walks the full pipeline on a classic MapReduce-shaped job:
+
+1. build the job (or bring your own DAG + profile);
+2. run it once on the simulated cluster to collect a training trace;
+3. learn a profile and precompute the C(p, a) remaining-time table;
+4. run it again under the Jockey control loop against a deadline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import (
+    ControlConfig,
+    CpaTable,
+    JockeyPolicy,
+    deadline_utility,
+    oracle_allocation,
+    totalwork_with_q,
+)
+from repro.jobs import JobProfile, mapreduce_job
+from repro.runtime import JobManager, run_to_completion
+from repro.simkit import RngRegistry, Simulator
+
+DEADLINE = 25 * 60.0  # 25 minutes, in seconds
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The job: 400 maps feeding 40 reduces through a full shuffle.
+    # ------------------------------------------------------------------
+    job = mapreduce_job(num_maps=400, num_reduces=40,
+                        map_median=20.0, map_p90=60.0,
+                        reduce_median=45.0, reduce_p90=120.0)
+    print(job.graph.render_ascii())
+
+    # ------------------------------------------------------------------
+    # 2. One training run at a fixed 40-token guarantee.
+    # ------------------------------------------------------------------
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(1))
+    training = run_to_completion(
+        JobManager(cluster, job.graph, job.profile, initial_allocation=40)
+    )
+    print(f"\ntraining run: {training.duration / 60:.1f} min, "
+          f"{training.total_cpu_seconds() / 3600:.1f} CPU-hours, "
+          f"{training.spare_fraction():.0%} of tasks on spare tokens")
+
+    # ------------------------------------------------------------------
+    # 3. Learn the profile; precompute C(p, a).
+    # ------------------------------------------------------------------
+    learned = JobProfile.from_trace(job.graph, training)
+    indicator = totalwork_with_q(learned)
+    table = CpaTable.build(
+        learned, indicator, RngRegistry(2).stream("cpa"),
+        allocations=(10, 20, 30, 40, 60, 80, 100), reps=8,
+    )
+    print("\npredicted completion (q90) by steady allocation:")
+    for a in table.allocations:
+        print(f"  {a:>3} tokens -> {table.predicted_duration(a, q=0.9) / 60:6.1f} min")
+
+    # ------------------------------------------------------------------
+    # 4. An SLO run: fresh cluster conditions, Jockey in control.
+    # ------------------------------------------------------------------
+    policy = JockeyPolicy(
+        table, indicator, deadline_utility(DEADLINE), ControlConfig(),
+        profile=learned,
+    )
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(99))
+    manager = JobManager(
+        cluster, job.graph, job.profile,
+        initial_allocation=policy.initial_allocation(),
+        deadline=DEADLINE,
+    )
+    sim.schedule_every(
+        60.0,
+        lambda: manager.finished or manager.set_allocation(
+            policy.on_tick(manager.snapshot())
+        ),
+    )
+    trace = run_to_completion(manager)
+
+    oracle = oracle_allocation(trace.total_cpu_seconds(), DEADLINE)
+    verdict = "MET" if trace.met_deadline() else "MISSED"
+    print(f"\nSLO run: finished in {trace.duration / 60:.1f} min of a "
+          f"{DEADLINE / 60:.0f}-min deadline -> {verdict}")
+    print(f"  initial allocation : {trace.allocation_timeline[0][1]} tokens")
+    print(f"  final allocation   : {trace.allocation_timeline[-1][1]} tokens")
+    print(f"  oracle (theory min): {oracle} tokens")
+    print(f"  evictions/failures : "
+          f"{sum(1 for r in trace.records if r.outcome == 'evicted')}/"
+          f"{sum(1 for r in trace.records if r.outcome == 'failed')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Post-hoc trace analysis: why did this run take as long as it did?
+
+Runs job F once under Jockey, then applies the analysis toolkit: an
+operational summary, a stage Gantt chart, the cluster-utilization
+timeline, and the *realized* critical path — the actual chain of task
+completions that determined the latency (operators use this to tell
+"we were starved of tokens" apart from "one straggler held the barrier").
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.analysis import (
+    critical_path_tasks,
+    stage_gantt,
+    summarize_trace,
+    utilization_timeline,
+)
+from repro.experiments.reporting import sparkline
+from repro.experiments.runner import RunConfig, make_policy, run_experiment
+from repro.experiments.scenarios import DEFAULT, trained_job
+
+
+def main() -> None:
+    print("training job F and running it under Jockey...")
+    tj = trained_job("F", seed=0, scale=DEFAULT)
+    result = run_experiment(
+        tj,
+        make_policy("jockey", tj, tj.short_deadline),
+        RunConfig(deadline_seconds=tj.short_deadline, seed=42),
+    )
+    trace = result.trace
+
+    print("\n== summary ==")
+    print(summarize_trace(trace, tj.graph))
+
+    print("\n== stage Gantt (time ->) ==")
+    print(stage_gantt(trace, width=64))
+
+    print("\n== concurrency (mean running tasks per minute) ==")
+    timeline = [v for _t, v in utilization_timeline(trace, bucket_seconds=60.0)]
+    print(f"  {sparkline(timeline)}  (peak {max(timeline):.0f})")
+
+    print("\n== realized critical path ==")
+    chain = critical_path_tasks(trace, tj.graph)
+    for link in chain[:12]:
+        print(
+            f"  {link.stage}[{link.index}]  "
+            f"queued {link.queue_seconds:6.1f}s  "
+            f"ran {link.end_time - link.start_time:6.1f}s  "
+            f"(until t={link.end_time / 60:5.1f} min)"
+        )
+    if len(chain) > 12:
+        print(f"  ... {len(chain) - 12} more links")
+
+
+if __name__ == "__main__":
+    main()

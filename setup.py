@@ -1,0 +1,6 @@
+"""Shim for environments without the `wheel` package (offline installs):
+`pip install -e . --no-build-isolation` or `python setup.py develop`."""
+
+from setuptools import setup
+
+setup()

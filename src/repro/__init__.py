@@ -1,0 +1,72 @@
+"""repro-jockey: a reproduction of *Jockey: Guaranteed Job Latency in Data
+Parallel Clusters* (Ferguson, Bodik, Kandula, Boutin, Fonseca — EuroSys 2012).
+
+Layering (bottom to top):
+
+* :mod:`repro.simkit` — discrete-event engine, RNG streams, distributions.
+* :mod:`repro.jobs` — SCOPE/Dryad-style job DAGs, traces, profiles, and the
+  synthetic workloads standing in for the paper's production jobs.
+* :mod:`repro.cluster` — the simulated Cosmos: token scheduling with spare
+  redistribution and eviction, background load, machine failures.
+* :mod:`repro.runtime` — the job manager executing DAGs on the cluster.
+* :mod:`repro.core` — Jockey itself: offline simulator, C(p, a) tables,
+  progress indicators, utility functions, control loop, policies.
+* :mod:`repro.experiments` — drivers regenerating every evaluation table
+  and figure, plus extension experiments (online model correction,
+  straggler speculation, multi-job arbitration, §2.4/§3.2 studies).
+* :mod:`repro.persist` — JSON bundles for trained models.
+* :mod:`repro.analysis` — trace analytics (Gantt, utilization, realized
+  critical path).
+* :mod:`repro.cli` — ``python -m repro`` command-line interface.
+
+See ``examples/quickstart.py`` for the end-to-end flow: train on one run,
+build the C(p, a) model, and control a live job against a deadline.
+"""
+
+from repro.core import (
+    AmdahlModel,
+    AmdahlPolicy,
+    ControlConfig,
+    CpaPredictor,
+    CpaTable,
+    JockeyController,
+    JockeyPolicy,
+    MaxAllocationPolicy,
+    NoAdaptationPolicy,
+    PiecewiseLinearUtility,
+    deadline_utility,
+    oracle_allocation,
+    simulate_job,
+    totalwork_with_q,
+)
+from repro.cluster import Cluster, ClusterConfig
+from repro.jobs import JobGraph, JobProfile, RunTrace, generate_table2_jobs
+from repro.runtime import JobManager, run_to_completion
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmdahlModel",
+    "AmdahlPolicy",
+    "Cluster",
+    "ClusterConfig",
+    "ControlConfig",
+    "CpaPredictor",
+    "CpaTable",
+    "JobGraph",
+    "JobManager",
+    "JobProfile",
+    "JockeyController",
+    "JockeyPolicy",
+    "MaxAllocationPolicy",
+    "NoAdaptationPolicy",
+    "PiecewiseLinearUtility",
+    "RunTrace",
+    "__version__",
+    "deadline_utility",
+    "generate_table2_jobs",
+    "oracle_allocation",
+    "run_to_completion",
+    "simulate_job",
+    "totalwork_with_q",
+]

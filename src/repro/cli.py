@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the operational workflow of the paper's system:
+
+* ``train`` — synthesize one of the evaluation jobs (or a MapReduce-shaped
+  one), execute a profiling run on the simulated cluster, build the
+  C(p, a) model, and save everything as a JSON bundle.
+* ``run`` — load a bundle and execute the job under a policy against a
+  deadline, printing the outcome and the allocation timeline.
+* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``list-experiments`` — enumerate the available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import persist
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.control import ControlConfig
+from repro.core.cpa import CpaTable
+from repro.core.policies import (
+    AdaptiveModelPolicy,
+    AmdahlPolicy,
+    JockeyPolicy,
+    MaxAllocationPolicy,
+    NoAdaptationPolicy,
+)
+from repro.core.progress import totalwork_with_q
+from repro.core.utility import deadline_utility
+from repro.jobs.profiles import JobProfile
+from repro.jobs.workloads import TABLE2_SPECS, generate_job, mapreduce_job
+from repro.runtime.jobmanager import JobManager, run_to_completion
+from repro.simkit.events import Simulator
+from repro.simkit.random import RngRegistry
+
+EXPERIMENTS = {
+    "table1": ("exp_table1", "run"),
+    "fig1": ("exp_fig1", "run"),
+    "table2": ("exp_table2", "run"),
+    "fig4": ("exp_fig4_5", "run"),
+    "fig5": ("exp_fig4_5", "run"),
+    "fig6": ("exp_fig6_table3", "run"),
+    "table3": ("exp_fig6_table3", "run"),
+    "fig7": ("exp_fig7", "run"),
+    "fig8": ("exp_fig8", "run"),
+    "fig9": ("exp_fig9_10", "run"),
+    "fig10": ("exp_fig9_10", "run"),
+    "fig11": ("exp_fig11", "run"),
+    "fig12": ("exp_fig12_13", "run_fig12"),
+    "fig13": ("exp_fig12_13", "run_fig13"),
+    "ablation-model": ("exp_ablation_model", "run"),
+    "ablation-speculation": ("exp_ablation_speculation", "run"),
+    "multijob": ("exp_multijob", "run"),
+    "sec2.4": ("exp_section24", "run"),
+}
+
+POLICY_CHOICES = (
+    "jockey",
+    "jockey-online-model",
+    "jockey-no-adapt",
+    "jockey-no-sim",
+    "max-allocation",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Jockey (EuroSys 2012) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="profile a job and save its model")
+    train.add_argument(
+        "--job",
+        default="F",
+        help="job name: A-G (Table 2) or 'mapreduce' (default: F)",
+    )
+    train.add_argument("--out", required=True, help="output bundle path (.json)")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--allocation", type=int, default=50,
+        help="guaranteed tokens for the training run (default: 50)",
+    )
+    train.add_argument(
+        "--cpa-reps", type=int, default=8,
+        help="simulations per allocation when building C(p, a) (default: 8)",
+    )
+
+    run = sub.add_parser("run", help="run a job under a policy vs a deadline")
+    run.add_argument("--bundle", required=True, help="bundle from `repro train`")
+    run.add_argument("--deadline-minutes", type=float, required=True)
+    run.add_argument("--policy", choices=POLICY_CHOICES, default="jockey")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument(
+        "--runtime-scale", type=float, default=1.0,
+        help="inflate this run's task runtimes (input growth; default 1.0)",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one of the paper's tables/figures"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", choices=("smoke", "default", "paper"), default="default"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list-experiments", help="list experiment ids")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_train(args, out) -> int:
+    if args.job == "mapreduce":
+        generated = mapreduce_job()
+    elif args.job in TABLE2_SPECS:
+        generated = generate_job(TABLE2_SPECS[args.job], seed=args.seed)
+    else:
+        out.write(f"error: unknown job {args.job!r} "
+                  f"(choose A-G or mapreduce)\n")
+        return 2
+    out.write(f"profiling run of job {args.job!r} at "
+              f"{args.allocation} guaranteed tokens...\n")
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(args.seed))
+    manager = JobManager(
+        cluster, generated.graph, generated.profile,
+        initial_allocation=args.allocation,
+        rng=RngRegistry(args.seed).stream("cli-train"),
+    )
+    trace = run_to_completion(manager)
+    out.write(f"  finished in {trace.duration / 60:.1f} min "
+              f"({trace.total_cpu_seconds() / 3600:.1f} CPU-hours)\n")
+    learned = JobProfile.from_trace(generated.graph, trace,
+                                    min_failure_prob=0.001)
+    indicator = totalwork_with_q(learned)
+    out.write("building C(p, a) table...\n")
+    table = CpaTable.build(
+        learned, indicator, RngRegistry(args.seed).stream("cli-cpa"),
+        reps=args.cpa_reps,
+    )
+    persist.save_bundle(
+        args.out, graph=generated.graph, profile=learned, table=table,
+        metadata={"job": args.job, "seed": args.seed},
+    )
+    out.write(f"saved bundle to {args.out}\n")
+    return 0
+
+
+def _build_policy(kind: str, table, indicator, profile, deadline: float):
+    utility = deadline_utility(deadline)
+    config = ControlConfig()
+    if kind == "jockey":
+        return JockeyPolicy(table, indicator, utility, config, profile=profile)
+    if kind == "jockey-online-model":
+        return AdaptiveModelPolicy(table, indicator, utility, config,
+                                   profile=profile)
+    if kind == "jockey-no-adapt":
+        return NoAdaptationPolicy(table, indicator, utility, config,
+                                  profile=profile)
+    if kind == "jockey-no-sim":
+        return AmdahlPolicy(profile, utility, config)
+    if kind == "max-allocation":
+        return MaxAllocationPolicy(100)
+    raise ValueError(f"unknown policy {kind!r}")
+
+
+def cmd_run(args, out) -> int:
+    try:
+        graph, profile, table = persist.load_bundle(args.bundle)
+    except (OSError, persist.PersistError) as exc:
+        out.write(f"error: cannot load bundle: {exc}\n")
+        return 2
+    if table is None and args.policy not in ("jockey-no-sim", "max-allocation"):
+        out.write("error: bundle has no C(p, a) table; use --policy "
+                  "jockey-no-sim or max-allocation\n")
+        return 2
+    deadline = args.deadline_minutes * 60.0
+    indicator = totalwork_with_q(profile)
+    policy = _build_policy(args.policy, table, indicator, profile, deadline)
+
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(args.seed))
+    behavior = profile.with_runtime_scale(args.runtime_scale)
+    manager = JobManager(
+        cluster, graph, behavior,
+        initial_allocation=policy.initial_allocation(),
+        rng=RngRegistry(args.seed).stream("cli-run"),
+        deadline=deadline,
+    )
+
+    def tick():
+        if manager.finished:
+            return
+        allocation = policy.on_tick(manager.snapshot())
+        if allocation is not None:
+            manager.set_allocation(allocation)
+
+    if policy.adaptive:
+        sim.schedule_every(60.0, tick)
+    trace = run_to_completion(manager)
+    verdict = "MET" if trace.met_deadline() else "MISSED"
+    allocations = [a for _t, a in trace.allocation_timeline]
+    out.write(
+        f"job {graph.name!r} under {args.policy}: finished in "
+        f"{trace.duration / 60:.1f} min of a {args.deadline_minutes:.0f}-min "
+        f"deadline -> {verdict}\n"
+    )
+    out.write(
+        f"  allocation start/max/end: {allocations[0]}/{max(allocations)}/"
+        f"{allocations[-1]} tokens; evictions "
+        f"{sum(1 for r in trace.records if r.outcome == 'evicted')}, "
+        f"failures {sum(1 for r in trace.records if r.outcome == 'failed')}\n"
+    )
+    return 0 if trace.met_deadline() else 1
+
+
+def cmd_experiment(args, out) -> int:
+    import importlib
+
+    from repro.experiments.scenarios import SCALES
+
+    module_name, func_name = EXPERIMENTS[args.id]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    result = getattr(module, func_name)(SCALES[args.scale], seed=args.seed)
+    reports = result if isinstance(result, tuple) else (result,)
+    for report in reports:
+        out.write(report.render() + "\n")
+    return 0
+
+
+def cmd_list_experiments(out) -> int:
+    for exp_id in sorted(EXPERIMENTS):
+        module_name, _func = EXPERIMENTS[exp_id]
+        out.write(f"{exp_id:22s} repro.experiments.{module_name}\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return cmd_train(args, out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "experiment":
+        return cmd_experiment(args, out)
+    if args.command == "list-experiments":
+        return cmd_list_experiments(out)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+__all__ = ["EXPERIMENTS", "build_parser", "main"]

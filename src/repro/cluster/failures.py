@@ -1,0 +1,73 @@
+"""Failure injection: machine crashes and correlated multi-task failures.
+
+Per-task failures (a task independently dying partway through) are sampled
+by the job runtime itself from the profile's ``failure_prob``.  This module
+injects the *correlated* events the paper calls out (§1: "failures, be they
+at task, server or network granularity"): whole-machine crashes with repair
+delays, which both shrink cluster capacity and kill co-located tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.machine import MachinePark
+from repro.simkit.events import Simulator
+
+
+class FailureInjector:
+    """Poisson machine failures with deterministic repair times."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machines: MachinePark,
+        rng: np.random.Generator,
+        *,
+        machine_mtbf_seconds: Optional[float] = None,
+        repair_seconds: float = 300.0,
+    ):
+        if machine_mtbf_seconds is not None and machine_mtbf_seconds <= 0:
+            raise ValueError("machine MTBF must be positive")
+        if repair_seconds <= 0:
+            raise ValueError("repair time must be positive")
+        self._sim = sim
+        self._machines = machines
+        self._rng = rng
+        self._mtbf = machine_mtbf_seconds
+        self._repair = repair_seconds
+        self.failures_injected = 0
+        if self._mtbf is not None:
+            self._schedule_next()
+
+    def _fleet_rate_interval(self) -> float:
+        """Expected seconds between failures across the whole fleet."""
+        assert self._mtbf is not None
+        up = max(self._machines.up_count, 1)
+        return self._mtbf / up
+
+    def _schedule_next(self) -> None:
+        delay = float(self._rng.exponential(self._fleet_rate_interval()))
+        self._sim.schedule(max(delay, 1.0), self._fire)
+
+    def _fire(self) -> None:
+        if self._machines.up_count > 1:
+            machine = self._machines.pick_up_machine(self._rng)
+            if self._machines.fail(machine):
+                self.failures_injected += 1
+                self._sim.schedule(self._repair, lambda m=machine: self._machines.repair(m))
+        self._schedule_next()
+
+    def fail_now(self, machine_id: int, repair_seconds: Optional[float] = None) -> bool:
+        """Scripted failure (used by failure-injection tests/scenarios)."""
+        if not self._machines.fail(machine_id):
+            return False
+        self.failures_injected += 1
+        delay = self._repair if repair_seconds is None else repair_seconds
+        self._sim.schedule(delay, lambda: self._machines.repair(machine_id))
+        return True
+
+
+__all__ = ["FailureInjector"]

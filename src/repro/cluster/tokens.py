@@ -1,0 +1,268 @@
+"""Token accounting: guaranteed quotas plus weighted-fair spare tokens.
+
+This is the scheduling mechanism of the paper's Cosmos cluster (§2.1): each
+admitted job is guaranteed a number of *tokens*; a running task holds one
+token; tokens guaranteed to a job but unused are *spare* and are
+redistributed, weighted-fair, to jobs with pending tasks.  Tasks running on
+spare tokens are lower priority: when the owner of the capacity returns,
+they are evicted (§2.4).
+
+The :class:`TokenPool` implements that policy over any number of consumers
+(SLO jobs, background load, population jobs) with a water-filling spare
+split.  Consumers react to grant changes via a callback; the pool never
+starts or kills tasks itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+class TokenError(RuntimeError):
+    """Raised on invalid token-pool operations."""
+
+
+@dataclass
+class Grant:
+    """A consumer's current entitlement."""
+
+    total: int = 0
+    #: How much of ``total`` is backed by the consumer's own guarantee; the
+    #: remainder rides on spare tokens and is evictable.
+    guaranteed_part: int = 0
+
+    @property
+    def spare_part(self) -> int:
+        return self.total - self.guaranteed_part
+
+
+class Consumer:
+    """One token consumer registered with the pool."""
+
+    def __init__(
+        self,
+        name: str,
+        guaranteed: int,
+        *,
+        weight: Optional[float] = None,
+        on_grant: Optional[Callable[[Grant], None]] = None,
+    ):
+        if guaranteed < 0:
+            raise TokenError(f"negative guarantee for {name!r}")
+        self.name = name
+        self.guaranteed = guaranteed
+        self._weight = weight
+        self.on_grant = on_grant
+        self.demand = 0
+        self.grant = Grant()
+
+    @property
+    def weight(self) -> float:
+        """Fair-share weight; defaults to the guarantee (WFQ analogy, §2.6)."""
+        if self._weight is not None:
+            return self._weight
+        return float(max(self.guaranteed, 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Consumer({self.name!r}, g={self.guaranteed}, d={self.demand}, "
+            f"grant={self.grant.total})"
+        )
+
+
+def _largest_remainder_round(shares: List[float], budget: int) -> List[int]:
+    """Round non-negative float shares down to integers summing to at most
+    ``budget``, distributing leftover units by largest fractional part."""
+    floors = [int(s) for s in shares]
+    leftover = budget - sum(floors)
+    if leftover <= 0:
+        return floors
+    remainders = sorted(
+        range(len(shares)), key=lambda i: (shares[i] - floors[i]), reverse=True
+    )
+    for i in remainders:
+        if leftover == 0:
+            break
+        if floors[i] < shares[i] or shares[i] == floors[i]:
+            floors[i] += 1
+            leftover -= 1
+    return floors
+
+
+class TokenPool:
+    """The cluster-wide token scheduler."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise TokenError(f"negative capacity {capacity!r}")
+        self._capacity = capacity
+        self._consumers: Dict[str, Consumer] = {}
+        self._in_recompute = False
+        self._recompute_queued = False
+
+    # ------------------------------------------------------------------
+    # Registration and updates
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total_guaranteed(self) -> int:
+        return sum(c.guaranteed for c in self._consumers.values())
+
+    def guaranteed_headroom(self) -> int:
+        """Tokens still available to guarantee to new/growing consumers."""
+        return self._capacity - self.total_guaranteed
+
+    def register(self, consumer: Consumer) -> Consumer:
+        if consumer.name in self._consumers:
+            raise TokenError(f"duplicate consumer {consumer.name!r}")
+        if consumer.guaranteed > self.guaranteed_headroom():
+            raise TokenError(
+                f"cannot guarantee {consumer.guaranteed} tokens to "
+                f"{consumer.name!r}: only {self.guaranteed_headroom()} unreserved"
+            )
+        self._consumers[consumer.name] = consumer
+        self.recompute()
+        return consumer
+
+    def unregister(self, name: str) -> None:
+        if name not in self._consumers:
+            raise TokenError(f"unknown consumer {name!r}")
+        del self._consumers[name]
+        self.recompute()
+
+    def consumer(self, name: str) -> Consumer:
+        try:
+            return self._consumers[name]
+        except KeyError:
+            raise TokenError(f"unknown consumer {name!r}") from None
+
+    def set_capacity(self, capacity: int) -> None:
+        """Machine failures and repairs move total capacity."""
+        if capacity < 0:
+            raise TokenError(f"negative capacity {capacity!r}")
+        if capacity != self._capacity:
+            self._capacity = capacity
+            self.recompute()
+
+    def set_guaranteed(self, name: str, guaranteed: int) -> int:
+        """Change a consumer's guarantee (Jockey's control knob).
+
+        Clamped to the unreserved guaranteed headroom; returns the value
+        actually applied.
+        """
+        consumer = self.consumer(name)
+        if guaranteed < 0:
+            raise TokenError(f"negative guarantee for {name!r}")
+        others = self.total_guaranteed - consumer.guaranteed
+        applied = min(guaranteed, max(0, self._capacity - others))
+        if applied != consumer.guaranteed:
+            consumer.guaranteed = applied
+            self.recompute()
+        return applied
+
+    def set_demand(self, name: str, demand: int) -> None:
+        consumer = self.consumer(name)
+        if demand < 0:
+            raise TokenError(f"negative demand for {name!r}")
+        if demand != consumer.demand:
+            consumer.demand = demand
+            self.recompute()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def recompute(self) -> None:
+        """Re-run the allocation and notify consumers whose grant changed.
+
+        Re-entrant calls (a grant callback changing demand) are coalesced
+        into one follow-up pass.
+        """
+        if self._in_recompute:
+            self._recompute_queued = True
+            return
+        self._in_recompute = True
+        try:
+            while True:
+                self._recompute_queued = False
+                self._recompute_once()
+                if not self._recompute_queued:
+                    break
+        finally:
+            self._in_recompute = False
+
+    def _recompute_once(self) -> None:
+        consumers = list(self._consumers.values())
+        grants = compute_grants(self._capacity, consumers)
+        for consumer, grant in zip(consumers, grants):
+            changed = (
+                grant.total != consumer.grant.total
+                or grant.guaranteed_part != consumer.grant.guaranteed_part
+            )
+            consumer.grant = grant
+            if changed and consumer.on_grant is not None:
+                consumer.on_grant(grant)
+
+    def snapshot(self) -> Dict[str, Grant]:
+        return {name: c.grant for name, c in self._consumers.items()}
+
+
+def compute_grants(capacity: int, consumers: List[Consumer]) -> List[Grant]:
+    """Pure allocation function (exposed for direct testing).
+
+    1. Each consumer's *base* is ``min(guaranteed, demand)``; if capacity
+       has dropped below the sum of bases (machine failures), bases shrink
+       proportionally.
+    2. Leftover capacity is split weighted-fair (water-filling) among
+       consumers with unmet demand — the spare-token mechanism.
+    """
+    if not consumers:
+        return []
+    bases = [min(c.guaranteed, c.demand) for c in consumers]
+    total_base = sum(bases)
+    if total_base > capacity:
+        shares = [b * capacity / total_base for b in bases]
+        bases = _largest_remainder_round(shares, capacity)
+        total_base = sum(bases)
+    spare = capacity - total_base
+    extra = [0] * len(consumers)
+    if spare > 0:
+        unmet = [max(0, c.demand - b) for c, b in zip(consumers, bases)]
+        active = [i for i, u in enumerate(unmet) if u > 0]
+        # Water-filling: consumers whose unmet demand is below their fair
+        # share are satisfied exactly; their surplus recirculates.
+        while active and spare > 0:
+            total_weight = sum(consumers[i].weight for i in active)
+            shares = {
+                i: spare * consumers[i].weight / total_weight for i in active
+            }
+            capped = [i for i in active if unmet[i] - extra[i] <= shares[i]]
+            if capped:
+                for i in capped:
+                    take = unmet[i] - extra[i]
+                    extra[i] = unmet[i]
+                    spare -= take
+                active = [i for i in active if unmet[i] - extra[i] > 0]
+                continue
+            # No consumer capped: hand out integer shares and stop.
+            ordered = sorted(active)
+            floats = [shares[i] for i in ordered]
+            rounded = _largest_remainder_round(floats, spare)
+            for i, amount in zip(ordered, rounded):
+                give = min(amount, unmet[i] - extra[i])
+                extra[i] += give
+                spare -= give
+            break
+    grants = []
+    for consumer, base, bonus in zip(consumers, bases, extra):
+        total = base + bonus
+        grants.append(Grant(total=total, guaranteed_part=min(base, total)))
+    return grants
+
+
+__all__ = ["Consumer", "Grant", "TokenError", "TokenPool", "compute_grants"]

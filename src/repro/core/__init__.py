@@ -1,0 +1,101 @@
+"""Jockey proper: the offline job simulator, C(p, a) tables, progress
+indicators, predictors, utility functions, the control loop, the four
+evaluation policies, and the admission/arbitration extensions."""
+
+from repro.core.adaptive import (
+    AdaptiveCpaPredictor,
+    ModelErrorMonitor,
+    make_monitor,
+)
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionError,
+    SloRequest,
+)
+from repro.core.amdahl import AmdahlModel
+from repro.core.arbiter import ArbiterError, ArbiterJob, arbitrate
+from repro.core.control import (
+    ControlConfig,
+    ControlDecision,
+    ControlError,
+    CpaPredictor,
+    JockeyController,
+    Predictor,
+)
+from repro.core.cpa import DEFAULT_ALLOCATIONS, CpaError, CpaTable
+from repro.core.oracle import oracle_allocation
+from repro.core.policies import (
+    AdaptiveModelPolicy,
+    AllocationPolicy,
+    AmdahlPolicy,
+    JockeyPolicy,
+    MaxAllocationPolicy,
+    NoAdaptationPolicy,
+)
+from repro.core.progress import (
+    INDICATOR_NAMES,
+    CriticalPathIndicator,
+    MinStageIndicator,
+    ProgressError,
+    WeightedWorkIndicator,
+    build_indicator,
+    totalwork,
+    totalwork_with_q,
+    vertexfrac,
+)
+from repro.core.simulator import (
+    SimulatedRun,
+    SimulatorError,
+    simulate_durations,
+    simulate_job,
+    simulate_relative_spans,
+)
+from repro.core.utility import PiecewiseLinearUtility, UtilityError, deadline_utility
+
+__all__ = [
+    "AdaptiveCpaPredictor",
+    "AdaptiveModelPolicy",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "AllocationPolicy",
+    "AmdahlModel",
+    "AmdahlPolicy",
+    "ArbiterError",
+    "ArbiterJob",
+    "ControlConfig",
+    "ControlDecision",
+    "ControlError",
+    "CpaError",
+    "CpaPredictor",
+    "CpaTable",
+    "CriticalPathIndicator",
+    "DEFAULT_ALLOCATIONS",
+    "INDICATOR_NAMES",
+    "JockeyController",
+    "JockeyPolicy",
+    "MaxAllocationPolicy",
+    "ModelErrorMonitor",
+    "MinStageIndicator",
+    "NoAdaptationPolicy",
+    "PiecewiseLinearUtility",
+    "Predictor",
+    "ProgressError",
+    "SimulatedRun",
+    "SimulatorError",
+    "SloRequest",
+    "UtilityError",
+    "WeightedWorkIndicator",
+    "arbitrate",
+    "build_indicator",
+    "deadline_utility",
+    "make_monitor",
+    "oracle_allocation",
+    "simulate_durations",
+    "simulate_job",
+    "simulate_relative_spans",
+    "totalwork",
+    "totalwork_with_q",
+    "vertexfrac",
+]

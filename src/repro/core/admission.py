@@ -1,0 +1,130 @@
+"""Admission control for SLO jobs (paper §1).
+
+Jockey's per-job model doubles as an admission test: a newly submitted SLO
+job "fits" if, after reserving the minimum allocations every already-admitted
+job needs to stay on schedule, enough guaranteed capacity remains for the
+newcomer's own minimum.  The paper sketches this and leaves the
+over-subscribed arbitration case to a global arbiter (see
+:mod:`repro.core.arbiter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cpa import CpaTable
+
+
+class AdmissionError(ValueError):
+    """Raised for invalid admission requests."""
+
+
+@dataclass
+class SloRequest:
+    """An SLO job as the admission controller sees it."""
+
+    name: str
+    table: CpaTable
+    deadline_seconds: float
+    #: Current progress (0 for not-yet-started jobs) and elapsed runtime.
+    progress: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.deadline_seconds <= 0:
+            raise AdmissionError(f"{self.name!r}: deadline must be positive")
+        if not 0 <= self.progress <= 1:
+            raise AdmissionError(f"{self.name!r}: progress out of [0, 1]")
+        if self.elapsed_seconds < 0:
+            raise AdmissionError(f"{self.name!r}: negative elapsed time")
+
+    def min_allocation(self, *, slack: float = 1.2, q: float = 0.9) -> Optional[int]:
+        """Smallest grid allocation whose slacked prediction still meets the
+        deadline, or None if infeasible."""
+        budget = self.deadline_seconds - self.elapsed_seconds
+        if budget <= 0:
+            return None
+        for a in self.table.allocations:
+            predicted = slack * self.table.remaining(self.progress, a, q=q)
+            if predicted <= budget:
+                return a
+        return None
+
+
+@dataclass
+class AdmissionDecision:
+    admitted: bool
+    reason: str
+    #: Per-job minimum allocations when admitted (includes the candidate).
+    reservations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_reserved(self) -> int:
+        return sum(self.reservations.values())
+
+
+class AdmissionController:
+    """Checks whether SLO jobs fit in a guaranteed-capacity slice."""
+
+    def __init__(self, guaranteed_capacity: int, *, slack: float = 1.2, q: float = 0.9):
+        if guaranteed_capacity < 1:
+            raise AdmissionError("guaranteed capacity must be >= 1")
+        self.capacity = guaranteed_capacity
+        self.slack = slack
+        self.q = q
+        self._admitted: List[SloRequest] = []
+
+    @property
+    def admitted_jobs(self) -> List[SloRequest]:
+        return list(self._admitted)
+
+    def evaluate(self, candidate: SloRequest) -> AdmissionDecision:
+        """Would admitting ``candidate`` leave every admitted job able to
+        meet its deadline?  Pure check; does not admit."""
+        reservations: Dict[str, int] = {}
+        for job in self._admitted + [candidate]:
+            if job.name in reservations:
+                raise AdmissionError(f"duplicate job name {job.name!r}")
+            minimum = job.min_allocation(slack=self.slack, q=self.q)
+            if minimum is None:
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=f"job {job.name!r} cannot meet its deadline at any "
+                    f"allocation",
+                )
+            reservations[job.name] = minimum
+        total = sum(reservations.values())
+        if total > self.capacity:
+            return AdmissionDecision(
+                admitted=False,
+                reason=f"needs {total} guaranteed tokens, slice has {self.capacity}",
+                reservations=reservations,
+            )
+        return AdmissionDecision(
+            admitted=True,
+            reason=f"fits: {total}/{self.capacity} guaranteed tokens reserved",
+            reservations=reservations,
+        )
+
+    def admit(self, candidate: SloRequest) -> AdmissionDecision:
+        """Evaluate and, if it fits, record the job as admitted."""
+        decision = self.evaluate(candidate)
+        if decision.admitted:
+            self._admitted.append(candidate)
+        return decision
+
+    def release(self, name: str) -> None:
+        """Forget a completed job."""
+        before = len(self._admitted)
+        self._admitted = [j for j in self._admitted if j.name != name]
+        if len(self._admitted) == before:
+            raise AdmissionError(f"no admitted job named {name!r}")
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "SloRequest",
+]

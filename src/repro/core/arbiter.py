@@ -1,0 +1,98 @@
+"""Global multi-job arbiter — the paper's future work (§4.4), implemented.
+
+When several SLO jobs share a guaranteed slice, local per-job control can
+be globally suboptimal: a job with slack should yield tokens to a job in
+danger.  The arbiter allocates a fixed token budget across jobs to maximize
+total expected utility by greedy marginal-utility ascent, which is optimal
+when each job's utility is concave and non-decreasing in its allocation —
+true for deadline utilities, since more tokens never slow a job down.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.control import Predictor
+from repro.core.utility import PiecewiseLinearUtility
+
+
+class ArbiterError(ValueError):
+    """Raised for invalid arbitration inputs."""
+
+
+@dataclass
+class ArbiterJob:
+    """One SLO job competing for the shared slice."""
+
+    name: str
+    predictor: Predictor
+    utility: PiecewiseLinearUtility
+    fractions: Mapping[str, float]
+    elapsed_seconds: float = 0.0
+    slack: float = 1.2
+
+    def expected_utility(self, allocation: int) -> float:
+        remaining = self.slack * self.predictor.remaining_seconds(
+            self.fractions, allocation
+        )
+        return self.utility.value(self.elapsed_seconds + remaining)
+
+
+def arbitrate(
+    jobs: Sequence[ArbiterJob],
+    total_tokens: int,
+    *,
+    min_tokens: int = 1,
+    step: int = 5,
+) -> Dict[str, int]:
+    """Split ``total_tokens`` across ``jobs`` to maximize summed utility.
+
+    Every job first receives ``min_tokens``; remaining tokens are handed
+    out ``step`` at a time to the job whose utility gains the most from
+    them.  Raises if even the minimums do not fit.
+    """
+    if not jobs:
+        return {}
+    names = [j.name for j in jobs]
+    if len(set(names)) != len(names):
+        raise ArbiterError("duplicate job names")
+    if min_tokens < 1 or step < 1:
+        raise ArbiterError("min_tokens and step must be >= 1")
+    if total_tokens < min_tokens * len(jobs):
+        raise ArbiterError(
+            f"{total_tokens} tokens cannot cover {len(jobs)} jobs at "
+            f"minimum {min_tokens}"
+        )
+    allocations = {j.name: min_tokens for j in jobs}
+    utilities = {j.name: j.expected_utility(min_tokens) for j in jobs}
+    remaining = total_tokens - min_tokens * len(jobs)
+    by_name = {j.name: j for j in jobs}
+    # Max-heap of (negative marginal gain, name) — recomputed lazily.
+    heap: List = []
+    for j in jobs:
+        gain = j.expected_utility(min_tokens + step) - utilities[j.name]
+        heapq.heappush(heap, (-gain, j.name, min_tokens))
+    while remaining >= step and heap:
+        neg_gain, name, at_alloc = heapq.heappop(heap)
+        if at_alloc != allocations[name]:
+            # Stale entry: recompute at the current allocation.
+            current = allocations[name]
+            gain = by_name[name].expected_utility(current + step) - utilities[name]
+            heapq.heappush(heap, (-gain, name, current))
+            continue
+        if -neg_gain <= 1e-12:
+            continue  # this job gains nothing more; try the others
+        allocations[name] += step
+        remaining -= step
+        utilities[name] = by_name[name].expected_utility(allocations[name])
+        gain = (
+            by_name[name].expected_utility(allocations[name] + step)
+            - utilities[name]
+        )
+        heapq.heappush(heap, (-gain, name, allocations[name]))
+    return allocations
+
+
+__all__ = ["ArbiterError", "ArbiterJob", "arbitrate"]

@@ -1,0 +1,222 @@
+"""Jockey's resource-allocation control loop (paper §4.3).
+
+Each period the controller observes the job's per-stage completion
+fractions, turns them into a progress value, asks the predictor for the
+remaining time at every candidate allocation, and picks
+
+    A_raw = argmin { a : U(t_r + slack * C(p, a)) is maximal }
+
+— the *minimum* allocation that maximizes expected utility.  Three
+control-theory moderators keep the loop stable against model error and
+indicator noise:
+
+* **slack** — predictions are multiplied by a constant ≥ 1;
+* **hysteresis** — the applied allocation moves toward the raw value
+  exponentially: ``A_t = A_{t-1} + alpha (A_raw − A_{t-1})``;
+* **dead zone** — the utility function is shifted left by ``D`` seconds, so
+  allocations only react once the job is at least ``D`` behind schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Mapping, Optional, Protocol, Sequence
+
+from repro.core.cpa import CpaTable
+from repro.core.utility import PiecewiseLinearUtility
+
+
+class ControlError(ValueError):
+    """Raised for invalid control configuration."""
+
+
+class Predictor(Protocol):
+    """Remaining-time model: the simulator-backed C(p,a) or Amdahl's Law."""
+
+    name: str
+
+    def remaining_seconds(
+        self, fractions: Mapping[str, float], allocation: float
+    ) -> float: ...
+
+
+class CpaPredictor:
+    """Adapter: progress indicator + C(p, a) table -> Predictor."""
+
+    name = "simulator"
+
+    def __init__(self, table: CpaTable, indicator, *, percentile: float = 0.6):
+        if not 0 <= percentile <= 1:
+            raise ControlError(f"percentile {percentile!r} out of [0, 1]")
+        self.table = table
+        self.indicator = indicator
+        self.percentile = percentile
+
+    def remaining_seconds(
+        self, fractions: Mapping[str, float], allocation: float
+    ) -> float:
+        progress = self.indicator.progress(fractions)
+        return self.table.remaining(progress, allocation, q=self.percentile)
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Paper-default parameters (§5.1): 1-minute period, slack 1.2,
+    hysteresis 0.2, 3-minute dead zone."""
+
+    period_seconds: float = 60.0
+    slack: float = 1.2
+    hysteresis: float = 0.2
+    dead_zone_seconds: float = 180.0
+    min_tokens: int = 1
+    max_tokens: int = 100
+    allocation_step: int = 5
+
+    def __post_init__(self):
+        if self.period_seconds <= 0:
+            raise ControlError("period must be positive")
+        if self.slack < 1.0:
+            raise ControlError(f"slack must be >= 1, got {self.slack!r}")
+        if not 0 < self.hysteresis <= 1:
+            raise ControlError(f"hysteresis must be in (0, 1], got {self.hysteresis!r}")
+        if self.dead_zone_seconds < 0:
+            raise ControlError("dead zone must be >= 0")
+        if not 1 <= self.min_tokens <= self.max_tokens:
+            raise ControlError("need 1 <= min_tokens <= max_tokens")
+        if self.allocation_step < 1:
+            raise ControlError("allocation step must be >= 1")
+
+    def allocation_grid(self) -> List[int]:
+        grid = list(range(self.min_tokens, self.max_tokens + 1, self.allocation_step))
+        if grid[-1] != self.max_tokens:
+            grid.append(self.max_tokens)
+        return grid
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One control-loop iteration's outputs (Fig. 6's blue and black lines)."""
+
+    raw: int           # utility-maximizing minimum allocation
+    smoothed: float    # after hysteresis
+    allocation: int    # integer tokens actually requested
+    predicted_remaining: float  # slacked prediction at `allocation`
+    utility: float     # expected utility at `allocation`
+
+
+class JockeyController:
+    """The per-job control loop state machine."""
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        utility: PiecewiseLinearUtility,
+        config: ControlConfig = ControlConfig(),
+        *,
+        stage_names: Sequence[str] = (),
+        grid_floor: Optional[int] = None,
+    ):
+        self.predictor = predictor
+        self.config = config
+        self._utility = utility
+        self._effective = utility.shifted_left(config.dead_zone_seconds)
+        # Candidate allocations.  A C(p, a) table clamps queries below its
+        # smallest simulated allocation (it has no data there), so the grid
+        # must not extend beneath it — otherwise 1 token "predicts" the
+        # table-minimum's latency.
+        self._grid = config.allocation_grid()
+        if grid_floor is not None:
+            floored = [a for a in self._grid if a >= grid_floor]
+            self._grid = floored or [grid_floor]
+        self._smoothed: Optional[float] = None
+        self._stage_names = tuple(stage_names)
+        self.decisions: List[ControlDecision] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def utility(self) -> PiecewiseLinearUtility:
+        return self._utility
+
+    @property
+    def effective_utility(self) -> PiecewiseLinearUtility:
+        """The dead-zone-shifted utility the loop actually optimizes."""
+        return self._effective
+
+    def set_utility(self, utility: PiecewiseLinearUtility) -> None:
+        """Change the job's utility (e.g. the deadline moved, §5.2)."""
+        self._utility = utility
+        self._effective = utility.shifted_left(self.config.dead_zone_seconds)
+
+    # ------------------------------------------------------------------
+
+    def _raw_allocation(
+        self, fractions: Mapping[str, float], elapsed: float
+    ) -> tuple:
+        """Minimum allocation maximizing expected (dead-zone-shifted,
+        slacked) utility; returns (allocation, prediction, utility)."""
+        best_u = -math.inf
+        utilities = []
+        for a in self._grid:
+            remaining = self.config.slack * self.predictor.remaining_seconds(
+                fractions, a
+            )
+            u = self._effective.value(elapsed + remaining)
+            utilities.append((a, remaining, u))
+            best_u = max(best_u, u)
+        for a, remaining, u in utilities:
+            if u >= best_u - 1e-9:
+                return a, remaining, u
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def initial_allocation(self, fractions: Optional[Mapping[str, float]] = None) -> int:
+        """Allocation before the job starts (progress 0, elapsed 0).  Also
+        resets hysteresis state."""
+        if fractions is None:
+            fractions = self._zero_fractions()
+        raw, _remaining, _u = self._raw_allocation(fractions, 0.0)
+        self._smoothed = float(raw)
+        return raw
+
+    def _zero_fractions(self) -> Mapping[str, float]:
+        if not self._stage_names:
+            raise ControlError(
+                "initial_allocation needs stage_names at construction or "
+                "explicit fractions"
+            )
+        return {s: 0.0 for s in self._stage_names}
+
+    def decide(self, fractions: Mapping[str, float], elapsed: float) -> ControlDecision:
+        """One control iteration."""
+        raw, _rem, _u = self._raw_allocation(fractions, elapsed)
+        if self._smoothed is None:
+            self._smoothed = float(raw)
+        else:
+            self._smoothed += self.config.hysteresis * (raw - self._smoothed)
+        allocation = int(min(
+            max(math.ceil(self._smoothed - 1e-9), self.config.min_tokens),
+            self.config.max_tokens,
+        ))
+        predicted = self.config.slack * self.predictor.remaining_seconds(
+            fractions, allocation
+        )
+        decision = ControlDecision(
+            raw=raw,
+            smoothed=self._smoothed,
+            allocation=allocation,
+            predicted_remaining=predicted,
+            utility=self._effective.value(elapsed + predicted),
+        )
+        self.decisions.append(decision)
+        return decision
+
+
+__all__ = [
+    "ControlConfig",
+    "ControlDecision",
+    "ControlError",
+    "CpaPredictor",
+    "JockeyController",
+    "Predictor",
+]

@@ -1,0 +1,173 @@
+"""C(p, a): precomputed remaining-completion-time distributions.
+
+The paper's key data structure (§4.1): a random variable giving the time
+still needed to finish the job when it has made progress ``p`` and holds
+``a`` tokens.  Built offline by simulating the job repeatedly at each
+allocation on a grid; every sampling instant of every run contributes one
+``(p_t, T − t)`` observation.  At runtime the control loop indexes the
+table with the live progress-indicator value and reads a configurable high
+percentile (predicting the worst case, §5.3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.simulator import simulate_job
+from repro.jobs.profiles import JobProfile
+
+
+class CpaError(ValueError):
+    """Raised for invalid table construction or queries."""
+
+
+DEFAULT_ALLOCATIONS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+@dataclass
+class _AllocationColumn:
+    """Sorted remaining-time samples per progress bin for one allocation."""
+
+    bins: List[np.ndarray]
+
+    def percentile(self, bin_index: int, q: float) -> float:
+        data = self.bins[bin_index]
+        if data.size == 0:
+            raise CpaError(f"empty progress bin {bin_index}")
+        return float(np.quantile(data, q))
+
+
+class CpaTable:
+    """The C(p, a) lookup table.
+
+    Queries interpolate linearly between grid allocations and clamp outside
+    the grid.  Progress bins left empty by simulation (progress values the
+    job jumps over) inherit the nearest *lower* non-empty bin — the
+    conservative direction, since remaining time decreases with progress.
+    """
+
+    def __init__(
+        self,
+        allocations: Sequence[int],
+        columns: Dict[int, _AllocationColumn],
+        num_bins: int,
+    ):
+        if not allocations:
+            raise CpaError("no allocations")
+        self.allocations = sorted(set(int(a) for a in allocations))
+        self._columns = columns
+        self.num_bins = num_bins
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        profile: JobProfile,
+        indicator,
+        rng: np.random.Generator,
+        *,
+        allocations: Sequence[int] = DEFAULT_ALLOCATIONS,
+        reps: int = 10,
+        num_bins: int = 100,
+        sample_dt: float = 15.0,
+    ) -> "CpaTable":
+        """Simulate ``reps`` runs at every allocation and bin the samples."""
+        if reps < 1:
+            raise CpaError("need at least one repetition")
+        if num_bins < 2:
+            raise CpaError("need at least two progress bins")
+        columns: Dict[int, _AllocationColumn] = {}
+        for a in allocations:
+            raw_bins: List[List[float]] = [[] for _ in range(num_bins + 1)]
+            for _ in range(reps):
+                run = simulate_job(
+                    profile, a, rng, indicator=indicator, sample_dt=sample_dt
+                )
+                for p, remaining in run.remaining_samples():
+                    idx = min(int(p * num_bins), num_bins)
+                    raw_bins[idx].append(remaining)
+            columns[int(a)] = cls._finalize_column(raw_bins)
+        return cls(allocations, columns, num_bins)
+
+    @staticmethod
+    def _finalize_column(raw_bins: List[List[float]]) -> _AllocationColumn:
+        bins: List[np.ndarray] = []
+        last_filled: Optional[np.ndarray] = None
+        for bucket in raw_bins:
+            if bucket:
+                arr = np.sort(np.asarray(bucket, dtype=float))
+                last_filled = arr
+            elif last_filled is not None:
+                arr = last_filled
+            else:
+                arr = np.empty(0, dtype=float)
+            bins.append(arr)
+        # Leading empty bins (possible only if progress never hit 0, which
+        # cannot happen — sampling starts at t=0) inherit the first filled.
+        first_filled = next((b for b in bins if b.size), None)
+        if first_filled is None:
+            raise CpaError("no samples at any progress value")
+        bins = [b if b.size else first_filled for b in bins]
+        return _AllocationColumn(bins=bins)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _bin_index(self, progress: float) -> int:
+        if not -1e-9 <= progress <= 1 + 1e-9:
+            raise CpaError(f"progress {progress!r} out of [0, 1]")
+        return min(max(int(progress * self.num_bins), 0), self.num_bins)
+
+    def remaining(self, progress: float, allocation: float, *, q: float = 0.9) -> float:
+        """Remaining seconds at the given progress and allocation, at
+        percentile ``q`` of the simulated distribution."""
+        if allocation <= 0:
+            raise CpaError(f"allocation must be positive, got {allocation!r}")
+        if not 0 <= q <= 1:
+            raise CpaError(f"percentile {q!r} out of [0, 1]")
+        idx = self._bin_index(progress)
+        grid = self.allocations
+        if allocation <= grid[0]:
+            return self._columns[grid[0]].percentile(idx, q)
+        if allocation >= grid[-1]:
+            return self._columns[grid[-1]].percentile(idx, q)
+        hi_pos = bisect.bisect_left(grid, allocation)
+        lo_a, hi_a = grid[hi_pos - 1], grid[hi_pos]
+        lo_v = self._columns[lo_a].percentile(idx, q)
+        if lo_a == allocation:
+            return lo_v
+        hi_v = self._columns[hi_a].percentile(idx, q)
+        w = (allocation - lo_a) / (hi_a - lo_a)
+        return lo_v * (1 - w) + hi_v * w
+
+    def predicted_duration(self, allocation: float, *, q: float = 0.9) -> float:
+        """Predicted full-job latency at a steady allocation: C(0, a)."""
+        return self.remaining(0.0, allocation, q=q)
+
+    def min_allocation_for(
+        self, budget_seconds: float, *, q: float = 0.9
+    ) -> Optional[int]:
+        """Smallest grid allocation predicted to finish within the budget,
+        or None if even the largest cannot."""
+        for a in self.allocations:
+            if self._columns[a].percentile(self._bin_index(0.0), q) <= budget_seconds:
+                return a
+        return None
+
+    def sample_counts(self) -> Dict[int, int]:
+        """Total samples per allocation (diagnostics)."""
+        return {
+            a: int(sum(b.size for b in self._columns[a].bins))
+            for a in self.allocations
+        }
+
+
+__all__ = ["CpaError", "CpaTable", "DEFAULT_ALLOCATIONS"]

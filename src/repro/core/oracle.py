@@ -1,0 +1,24 @@
+"""The oracle allocation baseline (paper §5.1).
+
+For a deadline of ``d`` seconds and a job needing ``T`` aggregate CPU
+seconds, the oracle allocation is ``O(T, d) = ceil(T / d)`` tokens — the
+theoretical minimum steady allocation that finishes by the deadline,
+agnostic to the job's structure.  The cluster-impact metric reports the
+fraction of a policy's requested token-seconds that sit above this level.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def oracle_allocation(total_cpu_seconds: float, deadline_seconds: float) -> int:
+    """``O(T, d) = ceil(T / d)``, at least 1 token."""
+    if total_cpu_seconds < 0:
+        raise ValueError(f"negative CPU time {total_cpu_seconds!r}")
+    if deadline_seconds <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline_seconds!r}")
+    return max(1, math.ceil(total_cpu_seconds / deadline_seconds))
+
+
+__all__ = ["oracle_allocation"]

@@ -1,0 +1,239 @@
+"""The four allocation policies compared in the evaluation (§5.1-5.2).
+
+* **Jockey** — simulator-backed C(p, a) predictions, adapting every period.
+* **Jockey w/o adaptation** — the same model picks one a-priori allocation
+  that maximizes utility; never adjusted (the static-quota strawman, §3.2).
+* **Jockey w/o simulator** — adapts every period but predicts with the
+  Amdahl's-Law model.
+* **Max allocation** — guarantees the whole experimental slice for the
+  job's entire life.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.core.amdahl import AmdahlModel
+from repro.core.control import (
+    ControlConfig,
+    ControlDecision,
+    CpaPredictor,
+    JockeyController,
+)
+from repro.core.cpa import CpaTable
+from repro.core.utility import PiecewiseLinearUtility
+from repro.jobs.profiles import JobProfile
+from repro.runtime.jobmanager import JobSnapshot
+
+
+class AllocationPolicy(abc.ABC):
+    """What the experiment runner drives: an initial allocation plus a
+    per-period decision."""
+
+    name: str = "policy"
+    #: Whether the policy adapts at runtime (controls whether the runner
+    #: installs a periodic control task).
+    adaptive: bool = True
+
+    @abc.abstractmethod
+    def initial_allocation(self) -> int: ...
+
+    @abc.abstractmethod
+    def on_tick(self, snapshot: JobSnapshot) -> Optional[int]:
+        """New allocation for this period, or None to leave it unchanged."""
+
+    def change_utility(self, utility: PiecewiseLinearUtility) -> None:
+        """React to a mid-run deadline change; default: unsupported no-op."""
+
+    def last_decision(self) -> Optional[ControlDecision]:
+        return None
+
+
+class JockeyPolicy(AllocationPolicy):
+    """Full Jockey: simulator model + dynamic control."""
+
+    name = "jockey"
+    adaptive = True
+
+    def __init__(
+        self,
+        table: CpaTable,
+        indicator,
+        utility: PiecewiseLinearUtility,
+        config: ControlConfig = ControlConfig(),
+        *,
+        profile: Optional[JobProfile] = None,
+        percentile: float = 0.6,
+    ):
+        predictor = CpaPredictor(table, indicator, percentile=percentile)
+        stage_names = profile.stage_names if profile is not None else ()
+        self.controller = JockeyController(
+            predictor,
+            utility,
+            config,
+            stage_names=stage_names,
+            grid_floor=min(table.allocations),
+        )
+
+    def initial_allocation(self) -> int:
+        return self.controller.initial_allocation()
+
+    def on_tick(self, snapshot: JobSnapshot) -> Optional[int]:
+        decision = self.controller.decide(snapshot.stage_fractions, snapshot.elapsed)
+        return decision.allocation
+
+    def change_utility(self, utility: PiecewiseLinearUtility) -> None:
+        self.controller.set_utility(utility)
+
+    def last_decision(self) -> Optional[ControlDecision]:
+        return self.controller.decisions[-1] if self.controller.decisions else None
+
+
+class NoAdaptationPolicy(AllocationPolicy):
+    """Jockey w/o adaptation: the simulator picks a static allocation."""
+
+    name = "jockey-no-adapt"
+    adaptive = False
+
+    def __init__(
+        self,
+        table: CpaTable,
+        indicator,
+        utility: PiecewiseLinearUtility,
+        config: ControlConfig = ControlConfig(),
+        *,
+        profile: Optional[JobProfile] = None,
+        percentile: float = 0.6,
+    ):
+        predictor = CpaPredictor(table, indicator, percentile=percentile)
+        stage_names = profile.stage_names if profile is not None else ()
+        self._controller = JockeyController(
+            predictor,
+            utility,
+            config,
+            stage_names=stage_names,
+            grid_floor=min(table.allocations),
+        )
+        self._fixed: Optional[int] = None
+
+    def initial_allocation(self) -> int:
+        if self._fixed is None:
+            self._fixed = self._controller.initial_allocation()
+        return self._fixed
+
+    def on_tick(self, snapshot: JobSnapshot) -> Optional[int]:
+        return None
+
+
+class AmdahlPolicy(AllocationPolicy):
+    """Jockey w/o simulator: dynamic control over the Amdahl model."""
+
+    name = "jockey-no-sim"
+    adaptive = True
+
+    def __init__(
+        self,
+        profile: JobProfile,
+        utility: PiecewiseLinearUtility,
+        config: ControlConfig = ControlConfig(),
+    ):
+        predictor = AmdahlModel(profile)
+        self.controller = JockeyController(
+            predictor, utility, config, stage_names=profile.stage_names
+        )
+
+    def initial_allocation(self) -> int:
+        return self.controller.initial_allocation()
+
+    def on_tick(self, snapshot: JobSnapshot) -> Optional[int]:
+        decision = self.controller.decide(snapshot.stage_fractions, snapshot.elapsed)
+        return decision.allocation
+
+    def change_utility(self, utility: PiecewiseLinearUtility) -> None:
+        self.controller.set_utility(utility)
+
+    def last_decision(self) -> Optional[ControlDecision]:
+        return self.controller.decisions[-1] if self.controller.decisions else None
+
+
+class AdaptiveModelPolicy(AllocationPolicy):
+    """Jockey plus online model correction (paper §5.6, implemented).
+
+    Identical to :class:`JockeyPolicy` except that C(p, a) predictions are
+    scaled by a live estimate of how much heavier this run is than the
+    trained model (see :mod:`repro.core.adaptive`), so divergence — an
+    oversized input, a cluster-wide slowdown — is countered minutes before
+    deadline-lateness alone would force a reaction.
+    """
+
+    name = "jockey-online-model"
+    adaptive = True
+
+    def __init__(
+        self,
+        table: CpaTable,
+        indicator,
+        utility: PiecewiseLinearUtility,
+        config: ControlConfig = ControlConfig(),
+        *,
+        profile: JobProfile,
+        percentile: float = 0.6,
+    ):
+        from repro.core.adaptive import AdaptiveCpaPredictor, make_monitor
+
+        self.monitor = make_monitor(profile)
+        self._indicator = indicator
+        predictor = AdaptiveCpaPredictor(
+            table, indicator, self.monitor, percentile=percentile
+        )
+        self.controller = JockeyController(
+            predictor,
+            utility,
+            config,
+            stage_names=profile.stage_names,
+            grid_floor=min(table.allocations),
+        )
+
+    def initial_allocation(self) -> int:
+        return self.controller.initial_allocation()
+
+    def on_tick(self, snapshot: JobSnapshot) -> Optional[int]:
+        progress = self._indicator.progress(snapshot.stage_fractions)
+        self.monitor.observe(progress, snapshot.consumed_token_seconds)
+        decision = self.controller.decide(snapshot.stage_fractions, snapshot.elapsed)
+        return decision.allocation
+
+    def change_utility(self, utility: PiecewiseLinearUtility) -> None:
+        self.controller.set_utility(utility)
+
+    def last_decision(self) -> Optional[ControlDecision]:
+        return self.controller.decisions[-1] if self.controller.decisions else None
+
+
+class MaxAllocationPolicy(AllocationPolicy):
+    """Guarantee the entire slice for the whole run."""
+
+    name = "max-allocation"
+    adaptive = False
+
+    def __init__(self, tokens: int = 100):
+        if tokens < 1:
+            raise ValueError(f"tokens must be >= 1, got {tokens!r}")
+        self._tokens = tokens
+
+    def initial_allocation(self) -> int:
+        return self._tokens
+
+    def on_tick(self, snapshot: JobSnapshot) -> Optional[int]:
+        return None
+
+
+__all__ = [
+    "AdaptiveModelPolicy",
+    "AllocationPolicy",
+    "AmdahlPolicy",
+    "JockeyPolicy",
+    "MaxAllocationPolicy",
+    "NoAdaptationPolicy",
+]

@@ -1,0 +1,210 @@
+"""Jockey's offline job simulator (paper §4.1).
+
+Simulates one execution of a job at a fixed token allocation using only the
+job's *profile* (per-stage runtime/init distributions, failure
+probabilities) and its DAG.  It captures the features the paper names —
+outliers, barriers, task restarts after failures — and deliberately omits
+what the paper's simulator omits (input-size variation, duplicate/speculative
+tasks).  It never sees the live cluster: the gap between this model and the
+substrate is what the online control loop must absorb.
+
+The simulator is the workhorse behind the C(p, a) tables: each simulated run
+contributes one ``(p_t, T − t)`` sample per sampling interval.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.jobs.dag import DependencyTracker, JobGraph
+from repro.jobs.profiles import JobProfile
+
+
+class SimulatorError(RuntimeError):
+    """Raised when a simulation cannot make progress."""
+
+
+@dataclass
+class SimulatedRun:
+    """Result of one offline simulation."""
+
+    allocation: int
+    duration: float
+    total_cpu_seconds: float
+    failures: int
+    #: (time, progress) pairs at the sampling interval, if an indicator was
+    #: supplied.  Progress is the indicator's value in [0, 1].
+    progress_samples: List[Tuple[float, float]] = field(default_factory=list)
+    #: Per-stage (start, end) as fractions of job duration.
+    stage_spans: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def remaining_samples(self) -> List[Tuple[float, float]]:
+        """Convert progress samples into (progress, remaining time) pairs —
+        the raw material of C(p, a)."""
+        return [(p, self.duration - t) for t, p in self.progress_samples]
+
+
+def simulate_job(
+    profile: JobProfile,
+    allocation: int,
+    rng: np.random.Generator,
+    *,
+    indicator=None,
+    sample_dt: float = 15.0,
+    max_task_attempts: int = 20,
+    track_spans: bool = False,
+) -> SimulatedRun:
+    """Simulate one run of ``profile``'s job at a constant ``allocation``.
+
+    Scheduling is greedy FIFO over ready tasks: whenever fewer than
+    ``allocation`` tasks are running and a task is ready, it starts.  Failed
+    attempts lose their partial work and re-queue, exactly as in the
+    substrate runtime.
+    """
+    if allocation < 1:
+        raise SimulatorError(f"allocation must be >= 1, got {allocation}")
+    graph = profile.graph
+    tracker = DependencyTracker(graph)
+    ready = deque(tracker.initially_ready())
+    if not ready:
+        raise SimulatorError(f"job {graph.name!r} has no runnable root tasks")
+
+    stage_profiles = {name: profile.stage(name) for name in profile.stage_names}
+    #: running tasks as (finish_time, seq, stage, index, will_fail)
+    running: List[Tuple[float, int, str, int, bool]] = []
+    seq = 0
+    now = 0.0
+    total_cpu = 0.0
+    failures = 0
+    attempts: Dict[Tuple[str, int], int] = {}
+    stage_first_start: Dict[str, float] = {}
+    stage_last_end: Dict[str, float] = {}
+    samples: List[Tuple[float, float]] = []
+    next_sample = 0.0
+
+    def start_tasks() -> None:
+        nonlocal seq, total_cpu, now
+        while ready and len(running) < allocation:
+            stage, index = ready.popleft()
+            sp = stage_profiles[stage]
+            runtime = sp.runtime.sample(rng) + sp.init.sample(rng)
+            will_fail = sp.failure_prob > 0 and rng.random() < sp.failure_prob
+            if will_fail:
+                count = attempts.get((stage, index), 0)
+                if count + 1 >= max_task_attempts:
+                    will_fail = False  # give up on failing: avoid livelock
+                else:
+                    runtime *= float(rng.uniform(0.05, 0.95))
+            total_cpu += runtime
+            if track_spans and stage not in stage_first_start:
+                stage_first_start[stage] = now
+            heapq.heappush(running, (now + runtime, seq, stage, index, will_fail))
+            seq += 1
+
+    def take_samples(up_to: float, fractions_fn: Callable[[], Dict[str, float]]) -> None:
+        nonlocal next_sample
+        if indicator is None:
+            return
+        while next_sample <= up_to:
+            samples.append((next_sample, indicator.progress(fractions_fn())))
+            next_sample += sample_dt
+
+    stage_sizes = {s.name: s.num_tasks for s in graph.stages}
+
+    def fractions() -> Dict[str, float]:
+        return {
+            name: tracker.completed_in_stage(name) / size
+            for name, size in stage_sizes.items()
+        }
+
+    start_tasks()
+    while running:
+        finish_time, _seq, stage, index, will_fail = heapq.heappop(running)
+        # Sample progress at interval boundaries strictly before this event.
+        take_samples(finish_time - 1e-9, fractions)
+        now = finish_time
+        if will_fail:
+            failures += 1
+            attempts[(stage, index)] = attempts.get((stage, index), 0) + 1
+            ready.append((stage, index))
+        else:
+            for task_id in tracker.complete(stage, index):
+                ready.append(task_id)
+            if track_spans:
+                stage_last_end[stage] = now
+        start_tasks()
+
+    if not tracker.all_complete():
+        unfinished = [
+            s.name
+            for s in graph.stages
+            if not tracker.is_stage_complete(s.name)
+        ]
+        raise SimulatorError(
+            f"simulation of {graph.name!r} stalled with incomplete stages "
+            f"{unfinished[:5]}"
+        )
+
+    duration = now
+    spans: Dict[str, Tuple[float, float]] = {}
+    if track_spans and duration > 0:
+        for name in stage_sizes:
+            lo = stage_first_start.get(name, 0.0) / duration
+            hi = stage_last_end.get(name, duration) / duration
+            spans[name] = (min(lo, 1.0), min(max(hi, lo), 1.0))
+    if indicator is not None:
+        samples.append((duration, indicator.progress(fractions())))
+    return SimulatedRun(
+        allocation=allocation,
+        duration=duration,
+        total_cpu_seconds=total_cpu,
+        failures=failures,
+        progress_samples=samples,
+        stage_spans=spans,
+    )
+
+
+def simulate_durations(
+    profile: JobProfile,
+    allocation: int,
+    rng: np.random.Generator,
+    *,
+    reps: int = 10,
+) -> List[float]:
+    """Just the completion times of ``reps`` independent simulations."""
+    return [
+        simulate_job(profile, allocation, rng).duration for _ in range(reps)
+    ]
+
+
+def simulate_relative_spans(
+    profile: JobProfile,
+    rng: np.random.Generator,
+    *,
+    allocation: Optional[int] = None,
+) -> Dict[str, Tuple[float, float]]:
+    """Typical relative stage (start, end) times from a simulation.
+
+    With ``allocation=None`` the job runs unconstrained (one token per
+    vertex — effectively infinite parallelism), which is how the paper
+    derives the ``minstage-inf`` indicator's schedule: it 'focusses on the
+    critical path'.
+    """
+    if allocation is None:
+        allocation = profile.graph.num_vertices
+    run = simulate_job(profile, allocation, rng, track_spans=True)
+    return run.stage_spans
+
+
+__all__ = [
+    "SimulatedRun",
+    "SimulatorError",
+    "simulate_durations",
+    "simulate_job",
+    "simulate_relative_spans",
+]

@@ -1,0 +1,81 @@
+"""Experiment drivers: one module per table/figure of the paper's
+evaluation, a shared runner, metrics, and plain-text reporting.
+
+==========  ==========================================================
+module      regenerates
+==========  ==========================================================
+exp_table1  Table 1 — CoV of recurring-job completion times
+exp_fig1    Fig. 1 — inter-job dependency CDFs
+exp_table2  Table 2 + Fig. 3 — evaluation job statistics and DAGs
+exp_fig4_5  Fig. 4 + Fig. 5 — policy comparison (the headline result)
+exp_fig6_table3  Fig. 6 + Table 3 — adaptation case studies
+exp_fig7    Fig. 7 — mid-run deadline changes
+exp_fig8    Fig. 8 — prediction accuracy, simulator vs Amdahl
+exp_fig9_10 Fig. 9 + Fig. 10 — progress indicator comparison
+exp_fig11   Fig. 11 — control-loop sensitivity analysis
+exp_fig12_13  Fig. 12 + Fig. 13 — slack and hysteresis sweeps
+exp_ablation_model  extension: online model correction (§5.6)
+exp_ablation_speculation  extension: straggler mitigation (§4.4)
+exp_multijob  extension: multi-SLO-job co-execution with the arbiter
+==========  ==========================================================
+"""
+
+from repro.experiments.metrics import (
+    PolicySummary,
+    RunMetrics,
+    cdf_points,
+    coefficient_of_variation,
+    group_by,
+    metrics_from_trace,
+    percentiles,
+    summarize_policy,
+)
+from repro.experiments.reporting import ExperimentReport, ascii_cdf, ascii_table
+from repro.experiments.runner import (
+    POLICY_KINDS,
+    ExperimentResult,
+    RunConfig,
+    make_policy,
+    run_experiment,
+    run_suite,
+)
+from repro.experiments.scenarios import (
+    DEFAULT,
+    PAPER,
+    SCALES,
+    SMOKE,
+    Scale,
+    TrainedJob,
+    clear_trained_cache,
+    trained_job,
+    trained_jobs,
+)
+
+__all__ = [
+    "DEFAULT",
+    "ExperimentReport",
+    "ExperimentResult",
+    "PAPER",
+    "POLICY_KINDS",
+    "PolicySummary",
+    "RunConfig",
+    "RunMetrics",
+    "SCALES",
+    "SMOKE",
+    "Scale",
+    "TrainedJob",
+    "ascii_cdf",
+    "ascii_table",
+    "cdf_points",
+    "clear_trained_cache",
+    "coefficient_of_variation",
+    "group_by",
+    "make_policy",
+    "metrics_from_trace",
+    "percentiles",
+    "run_experiment",
+    "run_suite",
+    "summarize_policy",
+    "trained_job",
+    "trained_jobs",
+]

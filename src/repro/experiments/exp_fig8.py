@@ -1,0 +1,85 @@
+"""Fig. 8: end-to-end latency prediction accuracy, simulator vs Amdahl.
+
+The paper executes each job three times at eight allocations, then compares
+the worst-case (largest) prediction from each model against the slowest
+actual run at each allocation.  We do the same against the substrate:
+predictions come from the C(p, a) table (simulator) and the Amdahl model,
+both trained from the single training run; actuals are cluster executions
+pinned to each allocation with no runtime-scale perturbation and no
+cluster-day resampling (the paper's trial runs re-ran the same input under
+comparable conditions).
+
+Shape targets: ~10% average error for the simulator, slightly worse for
+Amdahl overall, with Amdahl clearly worse at low allocations and
+competitive at high ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.amdahl import AmdahlModel
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.runner import RunConfig, run_experiment
+from repro.experiments.scenarios import DEFAULT, Scale, trained_jobs
+from repro.core.policies import MaxAllocationPolicy
+
+ALLOCATIONS = (20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+def run(scale: Scale = DEFAULT, *, seed: int = 0, runs_per_allocation: int = 3):
+    allocations = [a for a in ALLOCATIONS if a >= min(scale.allocations)]
+    if scale.name == "smoke":
+        allocations = allocations[::3]
+        runs_per_allocation = 2
+    jobs = trained_jobs(seed=seed, scale=scale)
+    sim_errors: Dict[int, List[float]] = {a: [] for a in allocations}
+    amdahl_errors: Dict[int, List[float]] = {a: [] for a in allocations}
+    for name, tj in jobs.items():
+        amdahl = AmdahlModel(tj.learned_profile)
+        for a in allocations:
+            actuals = []
+            for r in range(runs_per_allocation):
+                result = run_experiment(
+                    tj,
+                    MaxAllocationPolicy(a),
+                    RunConfig(
+                        deadline_seconds=tj.long_deadline,
+                        seed=seed + 1000 + 13 * r,
+                        runtime_scale=1.0,
+                        sample_cluster_day=False,
+                    ),
+                )
+                actuals.append(result.metrics.duration_seconds)
+            # Worst case vs worst case, as in the paper.
+            slowest = max(actuals)
+            sim_pred = tj.table.predicted_duration(a, q=0.95)
+            amdahl_pred = amdahl.predicted_duration(a)
+            sim_errors[a].append(abs(sim_pred - slowest) / slowest)
+            amdahl_errors[a].append(abs(amdahl_pred - slowest) / slowest)
+
+    report = ExperimentReport(
+        experiment_id="fig8",
+        title="Average latency prediction error vs allocation [%]",
+        headers=["allocation", "simulator", "amdahl"],
+    )
+    for a in allocations:
+        report.add_row(
+            a,
+            100.0 * float(np.mean(sim_errors[a])),
+            100.0 * float(np.mean(amdahl_errors[a])),
+        )
+    all_sim = [e for v in sim_errors.values() for e in v]
+    all_amdahl = [e for v in amdahl_errors.values() for e in v]
+    report.add_row("average", 100.0 * float(np.mean(all_sim)), 100.0 * float(np.mean(all_amdahl)))
+    report.add_note(
+        "paper: simulator 9.8% avg, Amdahl 11.8% avg with high error at low "
+        "allocations"
+    )
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

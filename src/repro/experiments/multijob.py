@@ -1,0 +1,199 @@
+"""Co-executing multiple SLO jobs in one cluster (paper §1/§4.4).
+
+The paper's Jockey makes *local* decisions per job and leaves the global
+layer as future work: "doing so requires an additional inter-job arbiter
+that dynamically shifts resources from jobs with low expected marginal
+utility to those with high expected marginal utility."  This module runs
+several SLO jobs simultaneously on one simulated cluster under two
+coordination modes:
+
+* ``independent`` — each job runs its own Jockey control loop; the token
+  pool clamps requests first-come-first-served when the guaranteed slice
+  runs out (what deploying unmodified Jockey per-job would do);
+* ``arbiter`` — each control period, the global arbiter
+  (:mod:`repro.core.arbiter`) splits the slice across the jobs by marginal
+  utility, using each job's own C(p, a) predictor and utility function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.arbiter import ArbiterJob, arbitrate
+from repro.core.control import ControlConfig
+from repro.core.policies import JockeyPolicy
+from repro.core.utility import deadline_utility
+from repro.experiments.metrics import RunMetrics, metrics_from_trace
+from repro.experiments.scenarios import TrainedJob
+from repro.runtime.jobmanager import JobManager
+from repro.simkit.events import Simulator
+from repro.simkit.random import RngRegistry
+
+COORDINATION_MODES = ("independent", "arbiter")
+
+
+@dataclass
+class MultiJobResult:
+    """Outcome of one co-execution run."""
+
+    mode: str
+    per_job: Dict[str, RunMetrics] = field(default_factory=dict)
+    #: (minute, {job: allocation}) samples.
+    allocation_series: List[Tuple[float, Dict[str, int]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def jobs_missed(self) -> int:
+        return sum(1 for m in self.per_job.values() if not m.met_deadline)
+
+    @property
+    def worst_relative_latency(self) -> float:
+        return max(m.relative_latency for m in self.per_job.values())
+
+
+def run_multi_job(
+    jobs: Sequence[TrainedJob],
+    *,
+    mode: str = "arbiter",
+    seed: int = 0,
+    slice_tokens: int = 100,
+    runtime_scales: Optional[Dict[str, float]] = None,
+    control_period: float = 60.0,
+    cluster_config: ClusterConfig = ClusterConfig(),
+    deadline_factor: float = 1.0,
+    max_virtual_seconds: float = 12 * 3600.0,
+) -> MultiJobResult:
+    """Run every job in ``jobs`` simultaneously against its own short
+    deadline (scaled by ``deadline_factor``) in one shared cluster."""
+    if mode not in COORDINATION_MODES:
+        raise ValueError(f"mode must be one of {COORDINATION_MODES}")
+    if not jobs:
+        raise ValueError("need at least one job")
+    names = [t.name for t in jobs]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate job names")
+    runtime_scales = runtime_scales or {}
+
+    rng = RngRegistry(seed)
+    sim = Simulator()
+    cluster = Cluster(sim, cluster_config, rng=rng.spawn("cluster"))
+
+    managers: Dict[str, JobManager] = {}
+    policies: Dict[str, JockeyPolicy] = {}
+    deadlines: Dict[str, float] = {}
+    smoothed: Dict[str, float] = {}
+    control = ControlConfig(max_tokens=slice_tokens)
+    for trained in jobs:
+        deadline = trained.short_deadline * deadline_factor
+        deadlines[trained.name] = deadline
+        policy = JockeyPolicy(
+            trained.table,
+            trained.indicator,
+            deadline_utility(deadline),
+            control,
+            profile=trained.learned_profile,
+        )
+        policies[trained.name] = policy
+        behavior = trained.generated.profile.with_runtime_scale(
+            runtime_scales.get(trained.name, 1.0)
+        )
+        # Admission caps each job's starting reservation at an equal share
+        # of the slice, so the initial guarantees never over-commit it; a
+        # job can never later be pushed below what it already holds (the
+        # pool only clamps *increases*), so nobody starves outright.
+        initial = min(policy.initial_allocation(), slice_tokens // len(jobs))
+        managers[trained.name] = JobManager(
+            cluster,
+            trained.graph,
+            behavior,
+            name=f"slo:{trained.name}",
+            initial_allocation=max(initial, 1),
+            rng=rng.stream(f"job:{trained.name}"),
+            deadline=deadline,
+        )
+
+    result = MultiJobResult(mode=mode)
+
+    def tick() -> None:
+        live = [t for t in jobs if not managers[t.name].finished]
+        if not live:
+            return
+        if mode == "independent":
+            for trained in live:
+                manager = managers[trained.name]
+                allocation = policies[trained.name].on_tick(manager.snapshot())
+                if allocation is not None:
+                    manager.set_allocation(allocation)
+        else:
+            arbiter_jobs = []
+            floor = min(jobs[0].table.allocations)
+            for trained in live:
+                manager = managers[trained.name]
+                snapshot = manager.snapshot()
+                controller = policies[trained.name].controller
+                arbiter_jobs.append(
+                    ArbiterJob(
+                        name=trained.name,
+                        predictor=controller.predictor,
+                        # The dead-zone-shifted utility, as the per-job
+                        # loop uses (§4.3).
+                        utility=controller.effective_utility,
+                        fractions=snapshot.stage_fractions,
+                        elapsed_seconds=snapshot.elapsed,
+                        slack=controller.config.slack,
+                    )
+                )
+            split = arbitrate(
+                arbiter_jobs, slice_tokens, min_tokens=floor, step=5
+            )
+            # The same hysteresis the per-job loop applies (§4.3): the raw
+            # arbiter split thrashes on noisy progress otherwise.
+            alpha = control.hysteresis
+            targets = {}
+            for trained in live:
+                name = trained.name
+                prev = smoothed.get(name, float(managers[name].allocation))
+                prev += alpha * (split[name] - prev)
+                smoothed[name] = prev
+                targets[name] = int(round(prev))
+            # Never exceed the slice after rounding.
+            while sum(targets.values()) > slice_tokens:
+                biggest = max(targets, key=targets.get)
+                targets[biggest] -= 1
+            # Apply releases before grabs so transient clamping by the
+            # pool's guaranteed headroom never blocks a reassignment.
+            ordered = sorted(
+                live,
+                key=lambda t: targets[t.name] - managers[t.name].allocation,
+            )
+            for trained in ordered:
+                managers[trained.name].set_allocation(targets[trained.name])
+        result.allocation_series.append(
+            (
+                sim.now / 60.0,
+                {t.name: managers[t.name].allocation for t in live},
+            )
+        )
+
+    sim.schedule_every(control_period, tick)
+
+    while not all(m.finished for m in managers.values()):
+        if sim.peek_time() is None or sim.now > max_virtual_seconds:
+            unfinished = [n for n, m in managers.items() if not m.finished]
+            raise RuntimeError(f"jobs did not finish: {unfinished}")
+        sim.run(until=sim.peek_time(), max_events=10_000)
+
+    for trained in jobs:
+        trace = managers[trained.name].trace
+        result.per_job[trained.name] = metrics_from_trace(
+            trace, policy=f"multi-{mode}"
+        )
+    return result
+
+
+__all__ = ["COORDINATION_MODES", "MultiJobResult", "run_multi_job"]

@@ -1,0 +1,118 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment driver returns an :class:`ExperimentReport` whose
+``render()`` prints the same rows/series the paper's table or figure shows,
+so benchmark output can be compared side-by-side with the publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A boxless, aligned text table."""
+    cells = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    points: Sequence[float] = (10, 25, 50, 75, 90, 99),
+) -> str:
+    """Render CDFs as a percentile table (one row per series)."""
+    import numpy as np
+
+    headers = ["series"] + [f"p{int(p)}" for p in points]
+    rows = []
+    for name, values in series.items():
+        if len(values) == 0:
+            raise ValueError(f"empty series {name!r}")
+        rows.append([name] + list(np.percentile(list(values), list(points))))
+    table = ascii_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated table/figure: identification, rows, and commentary."""
+
+    experiment_id: str            # e.g. "table1", "fig4"
+    title: str
+    headers: List[str] = field(default_factory=list)
+    rows: List[List] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Free-form extra sections appended after the main table.
+    extra_sections: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def add_section(self, text: str) -> None:
+        self.extra_sections.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.headers:
+            parts.append(ascii_table(self.headers, self.rows))
+        parts.extend(self.extra_sections)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A coarse text sparkline for time series (Fig. 6/7 renderings)."""
+    if not values:
+        return ""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    return "".join(blocks[1 + int((v - lo) / span * (len(blocks) - 2))] for v in values)
+
+
+__all__ = [
+    "ExperimentReport",
+    "ascii_cdf",
+    "ascii_table",
+    "format_cell",
+    "sparkline",
+]

@@ -1,0 +1,62 @@
+"""Job model: SCOPE/Dryad-style stage DAGs, run traces, learned profiles,
+and the synthetic workloads standing in for the paper's production jobs."""
+
+from repro.jobs.dag import (
+    DependencyTracker,
+    Edge,
+    EdgeType,
+    GraphError,
+    JobGraph,
+    Stage,
+    one_to_one_range,
+)
+from repro.jobs.pipelines import PipelineJob, PipelineTrace, generate_pipeline_trace
+from repro.jobs.profiles import JobProfile, ProfileError, StageProfile
+from repro.jobs.trace import (
+    OUTCOME_EVICTED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SUPERSEDED,
+    RunTrace,
+    TaskRecord,
+    TraceError,
+)
+from repro.jobs.workloads import (
+    TABLE2_SPECS,
+    GeneratedJob,
+    JobSpec,
+    generate_job,
+    generate_table2_jobs,
+    mapreduce_job,
+    random_job,
+)
+
+__all__ = [
+    "DependencyTracker",
+    "Edge",
+    "EdgeType",
+    "GeneratedJob",
+    "GraphError",
+    "JobGraph",
+    "JobProfile",
+    "JobSpec",
+    "OUTCOME_EVICTED",
+    "OUTCOME_FAILED",
+    "OUTCOME_OK",
+    "OUTCOME_SUPERSEDED",
+    "PipelineJob",
+    "PipelineTrace",
+    "ProfileError",
+    "RunTrace",
+    "Stage",
+    "StageProfile",
+    "TABLE2_SPECS",
+    "TaskRecord",
+    "TraceError",
+    "generate_job",
+    "generate_pipeline_trace",
+    "generate_table2_jobs",
+    "mapreduce_job",
+    "one_to_one_range",
+    "random_job",
+]

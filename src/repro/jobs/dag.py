@@ -1,0 +1,362 @@
+"""Job execution-plan graphs (SCOPE/Dryad style).
+
+A job is a DAG of *stages*; each stage holds one or more parallel *tasks*
+(the paper's vertices).  Edges carry one of two communication patterns:
+
+* ``ONE_TO_ONE`` — pointwise dataflow (pipelines, range-partitioned merges).
+  When task counts differ across the edge, downstream task ``i`` depends on
+  the contiguous range of upstream tasks whose key-range overlaps its own.
+* ``ALL_TO_ALL`` — full shuffle.  Every downstream task needs every upstream
+  task, so the edge is a *barrier*: the downstream stage cannot start until
+  the upstream stage fully completes (paper §2.1).
+
+The :class:`DependencyTracker` gives both the cluster runtime and Jockey's
+offline simulator an O(E)-memory, O(1)-amortized readiness test even for
+all-to-all edges between large stages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class GraphError(ValueError):
+    """Raised for malformed job graphs."""
+
+
+class EdgeType(enum.Enum):
+    """Communication pattern between two connected stages."""
+
+    ONE_TO_ONE = "one_to_one"
+    ALL_TO_ALL = "all_to_all"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One operator of the execution plan (map, reduce, join, aggregate...)."""
+
+    name: str
+    num_tasks: int
+
+    def __post_init__(self):
+        if not self.name:
+            raise GraphError("stage name must be non-empty")
+        if self.num_tasks < 1:
+            raise GraphError(f"stage {self.name!r} needs >= 1 task, got {self.num_tasks}")
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dataflow edge between stages."""
+
+    src: str
+    dst: str
+    kind: EdgeType = EdgeType.ONE_TO_ONE
+
+
+class JobGraph:
+    """An immutable, validated stage DAG.
+
+    Stages keep insertion order; ``topological_order`` respects dependencies
+    and is deterministic.
+    """
+
+    def __init__(self, name: str, stages: Sequence[Stage], edges: Sequence[Edge]):
+        if not name:
+            raise GraphError("job name must be non-empty")
+        if not stages:
+            raise GraphError("job needs at least one stage")
+        self.name = name
+        self._stages: Dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in self._stages:
+                raise GraphError(f"duplicate stage {stage.name!r}")
+            self._stages[stage.name] = stage
+        self._edges: Tuple[Edge, ...] = tuple(edges)
+        self._in_edges: Dict[str, List[Edge]] = {s: [] for s in self._stages}
+        self._out_edges: Dict[str, List[Edge]] = {s: [] for s in self._stages}
+        seen_pairs: Set[Tuple[str, str]] = set()
+        for edge in self._edges:
+            for endpoint in (edge.src, edge.dst):
+                if endpoint not in self._stages:
+                    raise GraphError(f"edge references unknown stage {endpoint!r}")
+            if edge.src == edge.dst:
+                raise GraphError(f"self-loop on stage {edge.src!r}")
+            if (edge.src, edge.dst) in seen_pairs:
+                raise GraphError(f"duplicate edge {edge.src!r} -> {edge.dst!r}")
+            seen_pairs.add((edge.src, edge.dst))
+            self._in_edges[edge.dst].append(edge)
+            self._out_edges[edge.src].append(edge)
+        self._topo = self._compute_topological_order()
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def stages(self) -> Tuple[Stage, ...]:
+        return tuple(self._stages.values())
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return self._edges
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise GraphError(f"no stage named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def in_edges(self, name: str) -> Tuple[Edge, ...]:
+        return tuple(self._in_edges[name])
+
+    def out_edges(self, name: str) -> Tuple[Edge, ...]:
+        return tuple(self._out_edges[name])
+
+    def parents(self, name: str) -> Tuple[str, ...]:
+        return tuple(e.src for e in self._in_edges[name])
+
+    def children(self, name: str) -> Tuple[str, ...]:
+        return tuple(e.dst for e in self._out_edges[name])
+
+    def roots(self) -> Tuple[str, ...]:
+        return tuple(s for s in self._stages if not self._in_edges[s])
+
+    def leaves(self) -> Tuple[str, ...]:
+        return tuple(s for s in self._stages if not self._out_edges[s])
+
+    def topological_order(self) -> Tuple[str, ...]:
+        return self._topo
+
+    @property
+    def num_stages(self) -> int:
+        return len(self._stages)
+
+    @property
+    def num_vertices(self) -> int:
+        """Total task count across stages (the paper's 'number of vertices')."""
+        return sum(s.num_tasks for s in self._stages.values())
+
+    def barrier_stages(self) -> Tuple[str, ...]:
+        """Stages gated by a full shuffle on at least one input."""
+        return tuple(
+            s
+            for s in self._stages
+            if any(e.kind is EdgeType.ALL_TO_ALL for e in self._in_edges[s])
+        )
+
+    @property
+    def num_barrier_stages(self) -> int:
+        return len(self.barrier_stages())
+
+    def _compute_topological_order(self) -> Tuple[str, ...]:
+        indegree = {s: len(self._in_edges[s]) for s in self._stages}
+        frontier = [s for s in self._stages if indegree[s] == 0]
+        order: List[str] = []
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for edge in self._out_edges[node]:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    frontier.append(edge.dst)
+        if len(order) != len(self._stages):
+            cyclic = sorted(s for s, d in indegree.items() if d > 0)
+            raise GraphError(f"graph has a cycle involving stages {cyclic}")
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    # Critical-path analytics (used by Amdahl's-law model and feasibility)
+    # ------------------------------------------------------------------
+
+    def critical_path(self, stage_task_time: Dict[str, float]) -> float:
+        """Length of the longest dependency chain, charging each stage the
+        given per-task time (the job's runtime with infinite parallelism)."""
+        longest = self.longest_path_from(stage_task_time)
+        return max(longest.values()) if longest else 0.0
+
+    def longest_path_from(self, stage_task_time: Dict[str, float]) -> Dict[str, float]:
+        """For each stage ``s``: the paper's ``L_s + l_s`` — the longest path
+        from the *start* of ``s`` to the end of the job, inclusive of ``s``."""
+        result: Dict[str, float] = {}
+        for name in reversed(self._topo):
+            own = float(stage_task_time.get(name, 0.0))
+            below = max(
+                (result[e.dst] for e in self._out_edges[name]), default=0.0
+            )
+            result[name] = own + below
+        return result
+
+    def render_ascii(self) -> str:
+        """A compact textual rendering of the DAG (our stand-in for Fig. 3)."""
+        lines = [f"job {self.name}: {self.num_stages} stages, "
+                 f"{self.num_vertices} vertices, {self.num_barrier_stages} barriers"]
+        for name in self._topo:
+            stage = self._stages[name]
+            shuffled = any(
+                e.kind is EdgeType.ALL_TO_ALL for e in self._in_edges[name]
+            )
+            marker = "▲" if shuffled else "●"
+            parents = ",".join(self.parents(name)) or "-"
+            lines.append(
+                f"  {marker} {name:<16} tasks={stage.num_tasks:<6} <- {parents}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobGraph({self.name!r}, stages={self.num_stages}, "
+            f"vertices={self.num_vertices})"
+        )
+
+
+def one_to_one_range(i: int, n_dst: int, n_src: int) -> Tuple[int, int]:
+    """Inclusive range ``[lo, hi]`` of upstream tasks feeding downstream task
+    ``i`` across a ONE_TO_ONE edge with unequal task counts.
+
+    Tasks are treated as covering equal key-ranges; downstream task ``i``
+    depends on every upstream task whose range overlaps its own.
+    """
+    if not 0 <= i < n_dst:
+        raise GraphError(f"task index {i} out of range for {n_dst} tasks")
+    lo = (i * n_src) // n_dst
+    hi = ((i + 1) * n_src - 1) // n_dst
+    return lo, min(hi, n_src - 1)
+
+
+@dataclass
+class _StageState:
+    """Mutable per-stage bookkeeping inside :class:`DependencyTracker`."""
+
+    barriers_remaining: int
+    pointwise_remaining: List[int]
+    completed: int = 0
+    released: List[bool] = field(default_factory=list)
+
+
+class DependencyTracker:
+    """Incremental task-readiness tracking over a :class:`JobGraph`.
+
+    Usage: construct, drain :meth:`initially_ready`, then feed each task
+    completion to :meth:`complete` and schedule the task ids it returns.
+    Task ids are ``(stage_name, index)`` tuples.
+
+    ``reset`` restores the initial state without re-deriving structure, which
+    matters because Jockey's offline simulator replays the same graph
+    thousands of times while building C(p, a).
+    """
+
+    def __init__(self, graph: JobGraph):
+        self.graph = graph
+        self._state: Dict[str, _StageState] = {}
+        self._init_state()
+
+    def _init_state(self) -> None:
+        for stage in self.graph.stages:
+            barriers = sum(
+                1
+                for e in self.graph.in_edges(stage.name)
+                if e.kind is EdgeType.ALL_TO_ALL
+            )
+            pointwise = [0] * stage.num_tasks
+            for edge in self.graph.in_edges(stage.name):
+                if edge.kind is not EdgeType.ONE_TO_ONE:
+                    continue
+                n_src = self.graph.stage(edge.src).num_tasks
+                for i in range(stage.num_tasks):
+                    lo, hi = one_to_one_range(i, stage.num_tasks, n_src)
+                    pointwise[i] += hi - lo + 1
+            self._state[stage.name] = _StageState(
+                barriers_remaining=barriers,
+                pointwise_remaining=pointwise,
+                released=[False] * stage.num_tasks,
+            )
+
+    def reset(self) -> None:
+        """Restore initial readiness state (all tasks un-run)."""
+        self._init_state()
+
+    def initially_ready(self) -> List[Tuple[str, int]]:
+        """Tasks with no unmet dependencies at job start."""
+        ready: List[Tuple[str, int]] = []
+        for name in self.graph.topological_order():
+            state = self._state[name]
+            if state.barriers_remaining:
+                continue
+            for i, remaining in enumerate(state.pointwise_remaining):
+                if remaining == 0 and not state.released[i]:
+                    state.released[i] = True
+                    ready.append((name, i))
+        return ready
+
+    def complete(self, stage: str, index: int) -> List[Tuple[str, int]]:
+        """Record completion of one task; return newly-ready tasks."""
+        state = self._state[stage]
+        n_src = self.graph.stage(stage).num_tasks
+        if not 0 <= index < n_src:
+            raise GraphError(f"task index {index} out of range for stage {stage!r}")
+        state.completed += 1
+        if state.completed > n_src:
+            raise GraphError(f"stage {stage!r} completed more tasks than it has")
+        newly_ready: List[Tuple[str, int]] = []
+        stage_done = state.completed == n_src
+        for edge in self.graph.out_edges(stage):
+            dst_state = self._state[edge.dst]
+            n_dst = self.graph.stage(edge.dst).num_tasks
+            if edge.kind is EdgeType.ALL_TO_ALL:
+                if stage_done:
+                    dst_state.barriers_remaining -= 1
+                    if dst_state.barriers_remaining == 0:
+                        self._release_ready(edge.dst, dst_state, newly_ready)
+            else:
+                # Downstream tasks whose input range includes `index`.
+                lo = (index * n_dst) // n_src
+                hi = ((index + 1) * n_dst - 1) // n_src
+                for j in range(lo, min(hi, n_dst - 1) + 1):
+                    dst_state.pointwise_remaining[j] -= 1
+                    if (
+                        dst_state.pointwise_remaining[j] == 0
+                        and dst_state.barriers_remaining == 0
+                        and not dst_state.released[j]
+                    ):
+                        dst_state.released[j] = True
+                        newly_ready.append((edge.dst, j))
+        return newly_ready
+
+    def _release_ready(
+        self,
+        stage: str,
+        state: _StageState,
+        out: List[Tuple[str, int]],
+    ) -> None:
+        for i, remaining in enumerate(state.pointwise_remaining):
+            if remaining == 0 and not state.released[i]:
+                state.released[i] = True
+                out.append((stage, i))
+
+    def completed_in_stage(self, stage: str) -> int:
+        return self._state[stage].completed
+
+    def is_stage_complete(self, stage: str) -> bool:
+        return self._state[stage].completed == self.graph.stage(stage).num_tasks
+
+    def all_complete(self) -> bool:
+        return all(
+            self._state[s.name].completed == s.num_tasks for s in self.graph.stages
+        )
+
+
+__all__ = [
+    "DependencyTracker",
+    "Edge",
+    "EdgeType",
+    "GraphError",
+    "JobGraph",
+    "Stage",
+    "one_to_one_range",
+]

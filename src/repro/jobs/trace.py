@@ -1,0 +1,219 @@
+"""Run traces: the record of one execution of a job.
+
+A :class:`RunTrace` is produced by the cluster runtime and consumed by
+:mod:`repro.jobs.profiles` to build the statistics Jockey trains on (the
+paper uses "a single production run" the same way).  It also backs the
+evaluation metrics (aggregate CPU time, queueing quantiles, oracle
+allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class TraceError(ValueError):
+    """Raised for malformed traces."""
+
+
+OUTCOME_OK = "ok"
+OUTCOME_FAILED = "failed"
+OUTCOME_EVICTED = "evicted"
+#: A speculative duplicate cancelled because its sibling finished first.
+OUTCOME_SUPERSEDED = "superseded"
+_OUTCOMES = (OUTCOME_OK, OUTCOME_FAILED, OUTCOME_EVICTED, OUTCOME_SUPERSEDED)
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One attempt of one task (vertex)."""
+
+    stage: str
+    index: int
+    attempt: int
+    ready_time: float
+    start_time: float
+    end_time: float
+    outcome: str = OUTCOME_OK
+    machine: Optional[int] = None
+    used_spare_token: bool = False
+
+    def __post_init__(self):
+        if self.outcome not in _OUTCOMES:
+            raise TraceError(f"unknown outcome {self.outcome!r}")
+        if not self.ready_time <= self.start_time <= self.end_time:
+            raise TraceError(
+                f"non-monotonic times for {self.stage}[{self.index}]: "
+                f"ready={self.ready_time}, start={self.start_time}, "
+                f"end={self.end_time}"
+            )
+        if self.attempt < 0:
+            raise TraceError(f"negative attempt {self.attempt}")
+
+    @property
+    def queue_time(self) -> float:
+        """Seconds spent waiting between readiness and execution."""
+        return self.start_time - self.ready_time
+
+    @property
+    def run_time(self) -> float:
+        """Seconds spent holding a token."""
+        return self.end_time - self.start_time
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+
+@dataclass
+class RunTrace:
+    """Everything recorded about one run of a job."""
+
+    job_name: str
+    start_time: float = 0.0
+    end_time: Optional[float] = None
+    records: List[TaskRecord] = field(default_factory=list)
+    #: (time, guaranteed allocation requested by the policy) step samples.
+    allocation_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: (time, number of running tasks) step samples.
+    running_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    deadline: Optional[float] = None
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def add(self, record: TaskRecord) -> None:
+        self.records.append(record)
+
+    def mark_allocation(self, time: float, allocation: int) -> None:
+        if self.allocation_timeline and self.allocation_timeline[-1][1] == allocation:
+            return
+        self.allocation_timeline.append((time, allocation))
+
+    def mark_running(self, time: float, running: int) -> None:
+        if self.running_timeline and self.running_timeline[-1][1] == running:
+            return
+        self.running_timeline.append((time, running))
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Job completion latency in seconds."""
+        if self.end_time is None:
+            raise TraceError(f"job {self.job_name!r} has not finished")
+        return self.end_time - self.start_time
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+    def met_deadline(self) -> bool:
+        if self.deadline is None:
+            raise TraceError("trace has no deadline")
+        return self.duration <= self.deadline
+
+    def successful_records(self) -> List[TaskRecord]:
+        return [r for r in self.records if r.succeeded]
+
+    def total_cpu_seconds(self) -> float:
+        """Aggregate token-holding time of *successful* attempts — the
+        paper's 'total work' / aggregate CPU time ``T``."""
+        return sum(r.run_time for r in self.records if r.succeeded)
+
+    def wasted_cpu_seconds(self) -> float:
+        """Token-holding time of failed and evicted attempts."""
+        return sum(r.run_time for r in self.records if not r.succeeded)
+
+    def stage_runtimes(self) -> Dict[str, List[float]]:
+        """Per-stage successful-attempt run times."""
+        out: Dict[str, List[float]] = {}
+        for r in self.records:
+            if r.succeeded:
+                out.setdefault(r.stage, []).append(r.run_time)
+        return out
+
+    def stage_queue_times(self) -> Dict[str, List[float]]:
+        """Per-stage successful-attempt queue times."""
+        out: Dict[str, List[float]] = {}
+        for r in self.records:
+            if r.succeeded:
+                out.setdefault(r.stage, []).append(r.queue_time)
+        return out
+
+    def stage_attempt_counts(self) -> Dict[str, Tuple[int, int]]:
+        """Per-stage (total attempts, failed-or-evicted attempts)."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for r in self.records:
+            total, bad = out.get(r.stage, (0, 0))
+            out[r.stage] = (total + 1, bad + (0 if r.succeeded else 1))
+        return out
+
+    def stage_relative_spans(self) -> Dict[str, Tuple[float, float]]:
+        """Per-stage (start, end) as fractions of job duration — the typical
+        relative stage times used by the ``minstage`` indicator (§5.4)."""
+        if self.end_time is None:
+            raise TraceError(f"job {self.job_name!r} has not finished")
+        duration = max(self.duration, 1e-9)
+        spans: Dict[str, Tuple[float, float]] = {}
+        for r in self.records:
+            if not r.succeeded:
+                continue
+            rel_start = (r.start_time - self.start_time) / duration
+            rel_end = (r.end_time - self.start_time) / duration
+            lo, hi = spans.get(r.stage, (rel_start, rel_end))
+            spans[r.stage] = (min(lo, rel_start), max(hi, rel_end))
+        return spans
+
+    def allocation_seconds(self) -> float:
+        """Integral of the requested guaranteed allocation over the run
+        (token-seconds) — the numerator of the cluster-impact metric."""
+        if self.end_time is None:
+            raise TraceError(f"job {self.job_name!r} has not finished")
+        if not self.allocation_timeline:
+            return 0.0
+        total = 0.0
+        timeline = list(self.allocation_timeline) + [(self.end_time, 0)]
+        for (t0, alloc), (t1, _next_alloc) in zip(timeline, timeline[1:]):
+            t1 = min(t1, self.end_time)
+            if t1 > t0:
+                total += alloc * (t1 - t0)
+        return total
+
+    def allocation_excess_seconds(self, threshold: int) -> float:
+        """Token-seconds requested above ``threshold`` tokens — used for the
+        allocation-above-oracle impact metric."""
+        if self.end_time is None:
+            raise TraceError(f"job {self.job_name!r} has not finished")
+        if not self.allocation_timeline:
+            return 0.0
+        total = 0.0
+        timeline = list(self.allocation_timeline) + [(self.end_time, 0)]
+        for (t0, alloc), (t1, _next_alloc) in zip(timeline, timeline[1:]):
+            t1 = min(t1, self.end_time)
+            if t1 > t0 and alloc > threshold:
+                total += (alloc - threshold) * (t1 - t0)
+        return total
+
+    def spare_fraction(self) -> float:
+        """Fraction of successful task attempts that ran on spare tokens."""
+        ok = self.successful_records()
+        if not ok:
+            return 0.0
+        return sum(1 for r in ok if r.used_spare_token) / len(ok)
+
+
+__all__ = [
+    "OUTCOME_EVICTED",
+    "OUTCOME_FAILED",
+    "OUTCOME_OK",
+    "OUTCOME_SUPERSEDED",
+    "RunTrace",
+    "TaskRecord",
+    "TraceError",
+]

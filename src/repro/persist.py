@@ -1,0 +1,276 @@
+"""Persistence: save and load trained Jockey artifacts as JSON.
+
+In production, profiling runs, model building, and SLO execution happen in
+different processes (and on different days).  This module serializes the
+three artifacts that cross those boundaries — the job graph, the learned
+profile, and the precomputed C(p, a) table — to plain JSON, so a trained
+model can be checked into a model store and loaded by the job manager at
+submission time.
+
+    from repro import persist
+    persist.save_bundle(path, graph=graph, profile=learned, table=table)
+    graph, profile, table = persist.load_bundle(path)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.cpa import CpaTable, _AllocationColumn
+from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
+from repro.jobs.profiles import JobProfile, StageProfile
+from repro.simkit import distributions as dist
+
+
+class PersistError(ValueError):
+    """Raised for malformed serialized artifacts."""
+
+
+FORMAT_VERSION = 1
+
+# ----------------------------------------------------------------------
+# Distributions
+# ----------------------------------------------------------------------
+
+_DIST_TYPES = {
+    "constant": dist.Constant,
+    "uniform": dist.Uniform,
+    "exponential": dist.Exponential,
+    "lognormal": dist.LogNormal,
+    "with_outliers": dist.WithOutliers,
+    "truncated": dist.Truncated,
+    "empirical": dist.Empirical,
+    "scaled": dist.Scaled,
+}
+
+
+def distribution_to_dict(d) -> Dict:
+    if isinstance(d, dist.Constant):
+        return {"kind": "constant", "value": d.value}
+    if isinstance(d, dist.Uniform):
+        return {"kind": "uniform", "low": d.low, "high": d.high}
+    if isinstance(d, dist.Exponential):
+        return {"kind": "exponential", "mean": d.mean_value}
+    if isinstance(d, dist.LogNormal):
+        return {"kind": "lognormal", "mu": d.mu, "sigma": d.sigma}
+    if isinstance(d, dist.WithOutliers):
+        return {
+            "kind": "with_outliers",
+            "base": distribution_to_dict(d.base),
+            "outlier_prob": d.outlier_prob,
+            "outlier_factor": d.outlier_factor,
+        }
+    if isinstance(d, dist.Truncated):
+        return {
+            "kind": "truncated",
+            "base": distribution_to_dict(d.base),
+            "cap": d.cap,
+        }
+    if isinstance(d, dist.Empirical):
+        return {"kind": "empirical", "values": [float(v) for v in d.values]}
+    if isinstance(d, dist.Scaled):
+        return {
+            "kind": "scaled",
+            "base": distribution_to_dict(d.base),
+            "factor": d.factor,
+        }
+    raise PersistError(f"unknown distribution type {type(d).__name__}")
+
+
+def distribution_from_dict(data: Dict):
+    kind = data.get("kind")
+    if kind == "constant":
+        return dist.Constant(data["value"])
+    if kind == "uniform":
+        return dist.Uniform(data["low"], data["high"])
+    if kind == "exponential":
+        return dist.Exponential(data["mean"])
+    if kind == "lognormal":
+        return dist.LogNormal(data["mu"], data["sigma"])
+    if kind == "with_outliers":
+        return dist.WithOutliers(
+            distribution_from_dict(data["base"]),
+            data["outlier_prob"],
+            data["outlier_factor"],
+        )
+    if kind == "truncated":
+        return dist.Truncated(distribution_from_dict(data["base"]), data["cap"])
+    if kind == "empirical":
+        return dist.Empirical(list(data["values"]))
+    if kind == "scaled":
+        return dist.Scaled(distribution_from_dict(data["base"]), data["factor"])
+    raise PersistError(f"unknown distribution kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Job graphs
+# ----------------------------------------------------------------------
+
+
+def graph_to_dict(graph: JobGraph) -> Dict:
+    return {
+        "name": graph.name,
+        "stages": [
+            {"name": s.name, "num_tasks": s.num_tasks} for s in graph.stages
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "kind": e.kind.value}
+            for e in graph.edges
+        ],
+    }
+
+
+def graph_from_dict(data: Dict) -> JobGraph:
+    try:
+        stages = [Stage(s["name"], s["num_tasks"]) for s in data["stages"]]
+        edges = [
+            Edge(e["src"], e["dst"], EdgeType(e["kind"])) for e in data["edges"]
+        ]
+        return JobGraph(data["name"], stages, edges)
+    except (KeyError, TypeError) as exc:
+        raise PersistError(f"malformed graph payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+
+
+def profile_to_dict(profile: JobProfile) -> Dict:
+    stages = {}
+    for name in profile.stage_names:
+        sp = profile.stage(name)
+        stages[name] = {
+            "runtime": distribution_to_dict(sp.runtime),
+            "init": distribution_to_dict(sp.init),
+            "queue_obs": distribution_to_dict(sp.queue_obs),
+            "failure_prob": sp.failure_prob,
+            "rel_span": list(sp.rel_span) if sp.rel_span is not None else None,
+        }
+    return {"graph": graph_to_dict(profile.graph), "stages": stages}
+
+
+def profile_from_dict(data: Dict, graph: Optional[JobGraph] = None) -> JobProfile:
+    if graph is None:
+        graph = graph_from_dict(data["graph"])
+    try:
+        stages = {}
+        for name, payload in data["stages"].items():
+            span = payload.get("rel_span")
+            stages[name] = StageProfile(
+                name=name,
+                runtime=distribution_from_dict(payload["runtime"]),
+                init=distribution_from_dict(payload["init"]),
+                queue_obs=distribution_from_dict(payload["queue_obs"]),
+                failure_prob=payload["failure_prob"],
+                rel_span=tuple(span) if span is not None else None,
+            )
+        return JobProfile(graph, stages)
+    except (KeyError, TypeError) as exc:
+        raise PersistError(f"malformed profile payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# C(p, a) tables
+# ----------------------------------------------------------------------
+
+
+def table_to_dict(table: CpaTable, *, precision: int = 2) -> Dict:
+    """Serialize a table; samples are rounded to ``precision`` decimals
+    (centisecond resolution is far below model error)."""
+    columns = {}
+    for a in table.allocations:
+        column = table._columns[a]
+        columns[str(a)] = [
+            [round(float(v), precision) for v in bin_samples]
+            for bin_samples in column.bins
+        ]
+    return {
+        "allocations": list(table.allocations),
+        "num_bins": table.num_bins,
+        "columns": columns,
+    }
+
+
+def table_from_dict(data: Dict) -> CpaTable:
+    try:
+        allocations = [int(a) for a in data["allocations"]]
+        num_bins = int(data["num_bins"])
+        columns = {}
+        for a in allocations:
+            bins = [
+                np.asarray(samples, dtype=float)
+                for samples in data["columns"][str(a)]
+            ]
+            columns[a] = _AllocationColumn(bins=bins)
+        return CpaTable(allocations, columns, num_bins)
+    except (KeyError, TypeError) as exc:
+        raise PersistError(f"malformed table payload: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
+
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_bundle(
+    path: PathLike,
+    *,
+    graph: JobGraph,
+    profile: JobProfile,
+    table: Optional[CpaTable] = None,
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Write a trained-job bundle (graph + profile [+ C(p, a)]) to JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "graph": graph_to_dict(graph),
+        "profile": profile_to_dict(profile),
+        "table": table_to_dict(table) if table is not None else None,
+        "metadata": metadata or {},
+    }
+    pathlib.Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_bundle(
+    path: PathLike,
+) -> Tuple[JobGraph, JobProfile, Optional[CpaTable]]:
+    """Read a bundle written by :func:`save_bundle`."""
+    try:
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistError(f"not valid JSON: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PersistError(
+            f"unsupported bundle version {version!r} (expected {FORMAT_VERSION})"
+        )
+    graph = graph_from_dict(payload["graph"])
+    profile = profile_from_dict(payload["profile"], graph=graph)
+    table = (
+        table_from_dict(payload["table"]) if payload.get("table") else None
+    )
+    return graph, profile, table
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "PersistError",
+    "distribution_from_dict",
+    "distribution_to_dict",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_bundle",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_bundle",
+    "table_from_dict",
+    "table_to_dict",
+]

@@ -1,0 +1,21 @@
+"""Job runtime: executes job DAGs on the cluster substrate and records
+run traces."""
+
+from repro.runtime.jobmanager import (
+    JobManager,
+    JobManagerError,
+    JobSnapshot,
+    run_to_completion,
+)
+from repro.runtime.speculation import SpeculationConfig
+from repro.runtime.task import RunningTask, TaskId
+
+__all__ = [
+    "JobManager",
+    "JobManagerError",
+    "JobSnapshot",
+    "RunningTask",
+    "SpeculationConfig",
+    "TaskId",
+    "run_to_completion",
+]

@@ -1,0 +1,485 @@
+"""The job manager: executes a job DAG on the simulated cluster.
+
+Mirrors the modified Cosmos job manager the paper used for its experiments
+(§5.1): it tracks per-stage completion fractions ``f_s``, exposes them to
+progress indicators, applies allocation changes from the control policy, and
+records a full :class:`~repro.jobs.trace.RunTrace`.
+
+Scheduling semantics follow §2.1/§2.4 of the paper:
+
+* each running task holds one token; the pool grants
+  ``min(guaranteed, demand)`` plus a weighted-fair share of spare tokens;
+* tasks started beyond the guaranteed part ride on spare tokens and are
+  the first to be *evicted* (work lost) when the grant shrinks;
+* failed or evicted tasks re-enter the ready queue and recompute from
+  scratch, delaying downstream barriers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.tokens import Consumer, Grant
+from repro.jobs.dag import DependencyTracker, JobGraph
+from repro.jobs.profiles import JobProfile
+from repro.jobs.trace import (
+    OUTCOME_EVICTED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    OUTCOME_SUPERSEDED,
+    RunTrace,
+    TaskRecord,
+)
+from repro.runtime.speculation import SpeculationConfig
+from repro.runtime.task import RunningTask, TaskId
+
+
+class JobManagerError(RuntimeError):
+    """Raised on invalid job-manager operations."""
+
+
+class JobSnapshot:
+    """What the control policy can observe about a running job (§4.3):
+    per-stage completion fractions and elapsed time."""
+
+    __slots__ = (
+        "stage_fractions",
+        "elapsed",
+        "running",
+        "allocation",
+        "consumed_token_seconds",
+    )
+
+    def __init__(
+        self,
+        stage_fractions: Dict[str, float],
+        elapsed: float,
+        running: int,
+        allocation: int,
+        consumed_token_seconds: float = 0.0,
+    ):
+        self.stage_fractions = stage_fractions
+        self.elapsed = elapsed
+        self.running = running
+        self.allocation = allocation
+        #: Cumulative busy token-time — the observable signal the online
+        #: model-correction monitor uses (paper §5.6).
+        self.consumed_token_seconds = consumed_token_seconds
+
+
+class JobManager:
+    """Runs one job on the cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        graph: JobGraph,
+        behavior: JobProfile,
+        *,
+        name: Optional[str] = None,
+        initial_allocation: int = 10,
+        rng: Optional[np.random.Generator] = None,
+        on_complete: Optional[Callable[["JobManager"], None]] = None,
+        deadline: Optional[float] = None,
+        speculation: Optional[SpeculationConfig] = None,
+        use_spare_tokens: bool = True,
+        spare_weight: Optional[float] = None,
+    ):
+        if behavior.graph is not graph and behavior.graph.name != graph.name:
+            raise JobManagerError("behavior profile does not match graph")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.graph = graph
+        self.behavior = behavior
+        self.name = name or f"job:{graph.name}"
+        self._rng = rng if rng is not None else cluster.rng.stream(f"jm:{self.name}")
+        self._on_complete = on_complete
+        self._tracker = DependencyTracker(graph)
+        self._ready: Deque[TaskId] = deque()
+        self._ready_times: Dict[TaskId, float] = {}
+        self._attempts: Dict[TaskId, int] = {}
+        self._running: List[RunningTask] = []
+        self._stage_sizes = {s.name: s.num_tasks for s in graph.stages}
+        self._busy_token_seconds = 0.0
+        self._busy_marker = self.sim.now
+        self._speculation = speculation
+        #: §2.4's experiment: when False, the job runs on guaranteed tokens
+        #: only, never riding (evictable, fluctuating) spare capacity.
+        self._use_spare_tokens = use_spare_tokens
+        self._speculative_demand = 0
+        self._stage_durations: Dict[str, List[float]] = {}
+        self.duplicates_launched = 0
+        self.duplicates_won = 0
+        self._completed_tasks = 0
+        self._total_tasks = graph.num_vertices
+        self.start_time = self.sim.now
+        self.finished = False
+        self.trace = RunTrace(
+            job_name=graph.name,
+            start_time=self.start_time,
+            deadline=deadline,
+        )
+        # Fair-share weight for *spare* distribution.  Default: the
+        # guarantee (WFQ analogy, §2.6); pass an explicit value to model
+        # schedulers that split spare per pending job instead (§2.1 does
+        # not prescribe a weighting).
+        self.consumer: Consumer = cluster.pool.register(
+            Consumer(self.name, 0, weight=spare_weight, on_grant=self._on_grant)
+        )
+        cluster.on_machine_down(self._on_machine_down)
+        for task_id in self._tracker.initially_ready():
+            self._enqueue(task_id)
+        self.set_allocation(initial_allocation)
+        self._update_demand()
+        if self._speculation is not None:
+            self.sim.schedule_every(
+                self._speculation.check_period_seconds, self._speculate
+            )
+
+    # ------------------------------------------------------------------
+    # Control interface
+    # ------------------------------------------------------------------
+
+    @property
+    def allocation(self) -> int:
+        """Currently requested guaranteed tokens."""
+        return self.consumer.guaranteed
+
+    def set_allocation(self, tokens: int) -> int:
+        """Request ``tokens`` guaranteed tokens (Jockey's knob).  The pool
+        may clamp to the cluster's guaranteed headroom; the applied value is
+        returned and recorded in the trace."""
+        if tokens < 0:
+            raise JobManagerError(f"negative allocation {tokens!r}")
+        applied = self.cluster.pool.set_guaranteed(self.name, tokens)
+        self.trace.mark_allocation(self.sim.now, applied)
+        return applied
+
+    def snapshot(self) -> JobSnapshot:
+        """Observable state for progress indicators and the control loop."""
+        self._accrue_busy_time()
+        fractions = {
+            name: self._tracker.completed_in_stage(name) / size
+            for name, size in self._stage_sizes.items()
+        }
+        return JobSnapshot(
+            stage_fractions=fractions,
+            elapsed=self.sim.now - self.start_time,
+            running=len(self._running),
+            allocation=self.allocation,
+            consumed_token_seconds=self._busy_token_seconds,
+        )
+
+    def _accrue_busy_time(self) -> None:
+        """Integrate the running-task count over time (token-seconds)."""
+        now = self.sim.now
+        if now > self._busy_marker:
+            self._busy_token_seconds += len(self._running) * (now - self._busy_marker)
+        self._busy_marker = now
+
+    @property
+    def consumed_token_seconds(self) -> float:
+        self._accrue_busy_time()
+        return self._busy_token_seconds
+
+    @property
+    def elapsed(self) -> float:
+        return self.sim.now - self.start_time
+
+    @property
+    def tasks_completed(self) -> int:
+        return self._completed_tasks
+
+    @property
+    def tasks_running(self) -> int:
+        return len(self._running)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, task_id: TaskId) -> None:
+        self._ready.append(task_id)
+        self._ready_times.setdefault(task_id, self.sim.now)
+
+    def _update_demand(self) -> None:
+        if self.finished:
+            demand = 0
+        else:
+            demand = (
+                len(self._ready) + len(self._running) + self._speculative_demand
+            )
+        self.cluster.pool.set_demand(self.name, demand)
+
+    def _grant_cap(self, grant: Grant) -> int:
+        """How many tasks this job may run under the current grant."""
+        return grant.total if self._use_spare_tokens else grant.guaranteed_part
+
+    def _on_grant(self, grant: Grant) -> None:
+        if self.finished:
+            return
+        cap = self._grant_cap(grant)
+        if len(self._running) > cap:
+            self._evict(len(self._running) - cap)
+        self._start_ready_tasks()
+        self._rebalance_tokens()
+
+    def _guaranteed_running(self) -> int:
+        return sum(1 for t in self._running if not t.used_spare_token)
+
+    def _rebalance_tokens(self) -> None:
+        """Keep token classes consistent after the guaranteed part of the
+        grant changes: a grown guarantee promotes the oldest spare tasks
+        onto guaranteed tokens; a shrunk one demotes the youngest
+        guaranteed tasks onto (evictable) spare tokens.  Each task holds a
+        specific token — completions pass tokens to new tasks in
+        ``_start_task``."""
+        guaranteed_part = self.consumer.grant.guaranteed_part
+        g_count = self._guaranteed_running()
+        if g_count < guaranteed_part:
+            spare = sorted(
+                (t for t in self._running if t.used_spare_token),
+                key=lambda t: t.start_time,
+            )
+            for task in spare[: guaranteed_part - g_count]:
+                task.used_spare_token = False
+        elif g_count > guaranteed_part:
+            guaranteed = sorted(
+                (t for t in self._running if not t.used_spare_token),
+                key=lambda t: t.start_time,
+                reverse=True,
+            )
+            for task in guaranteed[: g_count - guaranteed_part]:
+                task.used_spare_token = True
+
+    def _start_ready_tasks(self) -> None:
+        grant = self.consumer.grant
+        cap = self._grant_cap(grant)
+        started = False
+        while self._ready and len(self._running) < cap:
+            task_id = self._ready.popleft()
+            self._start_task(task_id, grant)
+            started = True
+        if started:
+            self.trace.mark_running(self.sim.now, len(self._running))
+
+    def _start_task(
+        self, task_id: TaskId, grant: Grant, *, is_duplicate: bool = False
+    ) -> None:
+        self._accrue_busy_time()
+        stage_name, _index = task_id
+        profile = self.behavior.stage(stage_name)
+        runtime = profile.runtime.sample(self._rng) + profile.init.sample(self._rng)
+        # Oversubscription slows every task: tokens do not shield network
+        # bandwidth or disk queues (§2.1).
+        runtime *= self.cluster.contention_factor()
+        will_fail = (
+            profile.failure_prob > 0 and self._rng.random() < profile.failure_prob
+        )
+        if will_fail:
+            # The attempt dies after doing only part of its work.
+            runtime *= float(self._rng.uniform(0.05, 0.95))
+        machine = self.cluster.machines.pick_up_machine(self._rng)
+        attempt = self._attempts.get(task_id, 0)
+        # Take a guaranteed token if one is free (e.g. just released by a
+        # finishing task), otherwise ride on spare.
+        used_spare = self._guaranteed_running() >= grant.guaranteed_part
+        if is_duplicate:
+            ready_time = self.sim.now
+        else:
+            ready_time = self._ready_times.pop(task_id, self.sim.now)
+        task = RunningTask(
+            task_id=task_id,
+            attempt=attempt,
+            ready_time=ready_time,
+            start_time=self.sim.now,
+            planned_end=self.sim.now + runtime,
+            machine=machine,
+            used_spare_token=used_spare,
+            will_fail=will_fail,
+            spare_at_start=used_spare,
+            is_duplicate=is_duplicate,
+        )
+        task.finish_handle = self.sim.schedule(runtime, lambda t=task: self._finish(t))
+        self._running.append(task)
+
+    def _record(self, task: RunningTask, outcome: str, end_time: float) -> None:
+        self.trace.add(
+            TaskRecord(
+                stage=task.task_id[0],
+                index=task.task_id[1],
+                attempt=task.attempt,
+                ready_time=task.ready_time,
+                start_time=task.start_time,
+                end_time=end_time,
+                outcome=outcome,
+                machine=task.machine,
+                used_spare_token=task.spare_at_start,
+            )
+        )
+
+    def _sibling_attempts(self, task: RunningTask) -> List[RunningTask]:
+        return [
+            t
+            for t in self._running
+            if t.task_id == task.task_id and t is not task
+        ]
+
+    def _finish(self, task: RunningTask) -> None:
+        self._accrue_busy_time()
+        self._running.remove(task)
+        if task.will_fail:
+            self._record(task, OUTCOME_FAILED, self.sim.now)
+            # A surviving speculative sibling keeps the task alive; only
+            # retry when this was the last attempt in flight.
+            if not self._sibling_attempts(task):
+                self._retry(task)
+        else:
+            self._record(task, OUTCOME_OK, self.sim.now)
+            # The losing attempts of a speculative race are cancelled.
+            for loser in self._sibling_attempts(task):
+                if loser.finish_handle is not None:
+                    loser.finish_handle.cancel()
+                self._running.remove(loser)
+                self._record(loser, OUTCOME_SUPERSEDED, self.sim.now)
+            if task.is_duplicate:
+                self.duplicates_won += 1
+            self._stage_durations.setdefault(task.task_id[0], []).append(
+                self.sim.now - task.start_time
+            )
+            self._completed_tasks += 1
+            newly_ready = self._tracker.complete(*task.task_id)
+            for task_id in newly_ready:
+                self._enqueue(task_id)
+            if self._tracker.all_complete():
+                self._complete_job()
+                return
+        self.trace.mark_running(self.sim.now, len(self._running))
+        self._update_demand()
+        self._start_ready_tasks()
+
+    def _retry(self, task: RunningTask) -> None:
+        """Re-queue a failed or evicted attempt; its work is lost."""
+        self._attempts[task.task_id] = task.attempt + 1
+        self._ready_times[task.task_id] = self.sim.now
+        self._ready.append(task.task_id)
+
+    def _evict(self, count: int) -> None:
+        """Kill ``count`` running tasks: most recently started first, which
+        preferentially hits spare-token tasks (they start last when the
+        guarantee is already saturated)."""
+        self._accrue_busy_time()
+        victims = sorted(
+            self._running, key=lambda t: (t.used_spare_token, t.start_time)
+        )[-count:]
+        for task in victims:
+            if task.finish_handle is not None:
+                task.finish_handle.cancel()
+            self._running.remove(task)
+            self._record(task, OUTCOME_EVICTED, self.sim.now)
+            if not self._sibling_attempts(task):
+                self._retry(task)
+        self.trace.mark_running(self.sim.now, len(self._running))
+        self._update_demand()
+
+    def _on_machine_down(self, machine_id: int) -> None:
+        if self.finished:
+            return
+        self._accrue_busy_time()
+        victims = [t for t in self._running if t.machine == machine_id]
+        for task in victims:
+            if task.finish_handle is not None:
+                task.finish_handle.cancel()
+            self._running.remove(task)
+            self._record(task, OUTCOME_FAILED, self.sim.now)
+            if not self._sibling_attempts(task):
+                self._retry(task)
+        if victims:
+            self.trace.mark_running(self.sim.now, len(self._running))
+            self._update_demand()
+            self._start_ready_tasks()
+
+    def _speculate(self) -> None:
+        """Launch duplicates for straggling attempts (paper §4.4's
+        straggler-mitigation knob; see :mod:`repro.runtime.speculation`)."""
+        if self.finished or self._speculation is None:
+            return
+        config = self._speculation
+        if self._ready:
+            return  # capacity is better spent on first attempts
+        budget = max(
+            1,
+            int(
+                config.max_duplicate_fraction
+                * max(self.consumer.guaranteed, len(self._running), 1)
+            ),
+        )
+        active_duplicates = sum(1 for t in self._running if t.is_duplicate)
+        duplicated = {t.task_id for t in self._running if t.is_duplicate}
+        stragglers = []
+        for task in sorted(
+            (
+                t
+                for t in self._running
+                if not t.is_duplicate and t.task_id not in duplicated
+            ),
+            key=lambda t: t.start_time,
+        ):
+            if active_duplicates + len(stragglers) >= budget:
+                break
+            durations = self._stage_durations.get(task.task_id[0], ())
+            if len(durations) < config.min_observations:
+                continue
+            median = sorted(durations)[len(durations) // 2]
+            elapsed = self.sim.now - task.start_time
+            threshold = max(
+                config.min_task_seconds, config.slowdown_factor * median
+            )
+            if elapsed > threshold:
+                stragglers.append(task)
+        if not stragglers:
+            return
+        # Ask the pool for room to race the stragglers; it may grant less.
+        self._speculative_demand = len(stragglers)
+        self._update_demand()
+        grant = self.consumer.grant
+        for task in stragglers:
+            if len(self._running) >= self._grant_cap(grant):
+                break
+            self._start_task(task.task_id, grant, is_duplicate=True)
+            self.duplicates_launched += 1
+        self._speculative_demand = 0
+        self._update_demand()
+        self.trace.mark_running(self.sim.now, len(self._running))
+
+    def _complete_job(self) -> None:
+        self.finished = True
+        self.trace.end_time = self.sim.now
+        self.trace.mark_running(self.sim.now, 0)
+        self._update_demand()
+        self.cluster.pool.set_guaranteed(self.name, 0)
+        if self._on_complete is not None:
+            self._on_complete(self)
+
+
+def run_to_completion(
+    manager: JobManager, *, max_seconds: float = 86_400.0
+) -> RunTrace:
+    """Drive the simulator until the job finishes.  Raises if it does not
+    finish within ``max_seconds`` of virtual time (degenerate configs)."""
+    deadline = manager.start_time + max_seconds
+    while not manager.finished:
+        if manager.sim.peek_time() is None or manager.sim.now >= deadline:
+            raise JobManagerError(
+                f"job {manager.graph.name!r} did not finish within "
+                f"{max_seconds:.0f}s of virtual time"
+            )
+        manager.sim.run(until=min(manager.sim.peek_time(), deadline), max_events=10_000)
+    return manager.trace
+
+
+__all__ = ["JobManager", "JobManagerError", "JobSnapshot", "run_to_completion"]

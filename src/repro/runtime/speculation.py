@@ -1,0 +1,49 @@
+"""Speculative execution of straggler tasks (paper §4.4's extra knob).
+
+The paper lists "the aggressiveness of mitigating stragglers [Mantri]"
+among the additional control knobs that could broaden what Jockey can do
+to meet SLOs.  This module provides the knob: when a running task has been
+executing far longer than its stage's typical duration, the job manager
+launches a duplicate attempt on a different machine; the first attempt to
+finish wins and the loser is cancelled (outcome ``superseded``).
+
+Duplicates only ever use capacity the job already holds but cannot fill
+with ready tasks, so speculation never displaces first-attempt work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Straggler-mitigation policy knobs."""
+
+    #: How often to scan running tasks for stragglers.
+    check_period_seconds: float = 30.0
+    #: An attempt is a straggler once it has run ``slowdown_factor`` times
+    #: the stage's observed median duration.
+    slowdown_factor: float = 2.0
+    #: Never speculate on tasks younger than this (cheap tasks finish
+    #: before the duplicate would help).
+    min_task_seconds: float = 20.0
+    #: Completed tasks needed in a stage before its median is trusted.
+    min_observations: int = 3
+    #: At most this fraction of the current grant may run duplicates.
+    max_duplicate_fraction: float = 0.2
+
+    def __post_init__(self):
+        if self.check_period_seconds <= 0:
+            raise ValueError("check period must be positive")
+        if self.slowdown_factor <= 1.0:
+            raise ValueError("slowdown factor must exceed 1")
+        if self.min_task_seconds < 0:
+            raise ValueError("min task seconds must be >= 0")
+        if self.min_observations < 1:
+            raise ValueError("need >= 1 observation")
+        if not 0 < self.max_duplicate_fraction <= 1:
+            raise ValueError("max duplicate fraction must be in (0, 1]")
+
+
+__all__ = ["SpeculationConfig"]

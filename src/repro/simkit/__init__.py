@@ -1,0 +1,45 @@
+"""Discrete-event simulation toolkit: clock/event queue, seeded RNG streams,
+and the latency distributions used throughout the reproduction."""
+
+from repro.simkit.distributions import (
+    Constant,
+    Distribution,
+    DistributionError,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Scaled,
+    Truncated,
+    Uniform,
+    WithOutliers,
+    scale,
+)
+from repro.simkit.events import (
+    EventHandle,
+    PeriodicTask,
+    SimulationError,
+    Simulator,
+    format_time,
+)
+from repro.simkit.random import RngRegistry, derive_seed
+
+__all__ = [
+    "Constant",
+    "Distribution",
+    "DistributionError",
+    "Empirical",
+    "EventHandle",
+    "Exponential",
+    "LogNormal",
+    "PeriodicTask",
+    "RngRegistry",
+    "Scaled",
+    "SimulationError",
+    "Simulator",
+    "Truncated",
+    "Uniform",
+    "WithOutliers",
+    "derive_seed",
+    "format_time",
+    "scale",
+]

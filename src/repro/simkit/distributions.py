@@ -1,0 +1,298 @@
+"""Latency distributions used by profiles and workload generators.
+
+The paper characterizes stage behaviour by quantiles (median and 90th
+percentile of task runtimes, Table 2) and notes heavy-tailed outliers.  We
+model runtimes with lognormals fitted to those quantiles, optionally mixed
+with an outlier tail, and with empirical distributions when a trace is
+available.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+# z-score of the 90th percentile of the standard normal.
+_Z90 = 1.2815515655446004
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution parameters."""
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A degenerate distribution: always ``value``."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value < 0:
+            raise DistributionError(f"negative constant {self.value!r}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def quantile(self, q: float) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if not 0 <= self.low <= self.high:
+            raise DistributionError(f"bad uniform bounds [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def quantile(self, q: float) -> float:
+        return self.low + q * (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential with the given mean (not rate)."""
+
+    mean_value: float
+
+    def __post_init__(self):
+        if self.mean_value <= 0:
+            raise DistributionError(f"mean must be positive, got {self.mean_value!r}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def mean(self) -> float:
+        return self.mean_value
+
+    def quantile(self, q: float) -> float:
+        if not 0 <= q < 1:
+            raise DistributionError(f"quantile {q!r} out of [0, 1)")
+        return -self.mean_value * math.log1p(-q)
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Lognormal parameterized by the underlying normal's ``mu``/``sigma``."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise DistributionError(f"sigma must be >= 0, got {self.sigma!r}")
+
+    @classmethod
+    def from_median_p90(cls, median: float, p90: float) -> "LogNormal":
+        """Fit a lognormal to an observed median and 90th percentile.
+
+        This is how Table 2's published quantiles become samplable stage
+        runtime distributions.
+        """
+        if median <= 0 or p90 < median:
+            raise DistributionError(
+                f"need 0 < median <= p90, got median={median!r}, p90={p90!r}"
+            )
+        mu = math.log(median)
+        sigma = (math.log(p90) - mu) / _Z90 if p90 > median else 0.0
+        return cls(mu=mu, sigma=sigma)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def quantile(self, q: float) -> float:
+        if not 0 < q < 1:
+            raise DistributionError(f"quantile {q!r} out of (0, 1)")
+        # Inverse CDF via the normal quantile (Acklam-free: use erfinv).
+        from math import sqrt
+
+        z = sqrt(2.0) * _erfinv(2.0 * q - 1.0)
+        return math.exp(self.mu + self.sigma * z)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, refined by Newton)."""
+    if not -1.0 < x < 1.0:
+        raise DistributionError(f"erfinv domain error: {x!r}")
+    a = 0.147
+    ln1mx2 = math.log(1.0 - x * x)
+    term = 2.0 / (math.pi * a) + ln1mx2 / 2.0
+    y = math.copysign(math.sqrt(math.sqrt(term**2 - ln1mx2 / a) - term), x)
+    # Two Newton steps against erf for ~1e-12 accuracy.
+    for _ in range(2):
+        err = math.erf(y) - x
+        y -= err / (2.0 / math.sqrt(math.pi) * math.exp(-y * y))
+    return y
+
+
+@dataclass(frozen=True)
+class WithOutliers:
+    """Mixture: with probability ``outlier_prob`` multiply a base draw by
+    ``outlier_factor`` — the paper's stragglers/outliers (§4.1)."""
+
+    base: "Distribution"
+    outlier_prob: float
+    outlier_factor: float
+
+    def __post_init__(self):
+        if not 0 <= self.outlier_prob <= 1:
+            raise DistributionError(f"outlier_prob {self.outlier_prob!r} out of [0,1]")
+        if self.outlier_factor < 1:
+            raise DistributionError(
+                f"outlier_factor must be >= 1, got {self.outlier_factor!r}"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        value = self.base.sample(rng)
+        if self.outlier_prob > 0 and rng.random() < self.outlier_prob:
+            value *= self.outlier_factor
+        return value
+
+    def mean(self) -> float:
+        base_mean = self.base.mean()
+        return base_mean * (1 + self.outlier_prob * (self.outlier_factor - 1))
+
+    def quantile(self, q: float) -> float:
+        # Approximation: outliers only shift the extreme tail.
+        if q <= 1 - self.outlier_prob:
+            return self.base.quantile(min(q / max(1e-12, 1 - self.outlier_prob), 1 - 1e-9))
+        return self.base.quantile(q) * self.outlier_factor
+
+
+@dataclass(frozen=True)
+class Truncated:
+    """A base distribution with draws capped at ``cap``.
+
+    Synthetic task-runtime lognormals fitted to published quantiles have
+    unbounded tails; real data-parallel tasks are bounded by their input
+    partition size.  Workload generators cap runtimes at a small multiple
+    of the stage's 90th percentile.
+    """
+
+    base: "Distribution"
+    cap: float
+
+    def __post_init__(self):
+        if self.cap <= 0:
+            raise DistributionError(f"cap must be positive, got {self.cap!r}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return min(self.base.sample(rng), self.cap)
+
+    def mean(self) -> float:
+        # Monte-Carlo-free approximation: integrate the quantile function.
+        qs = np.linspace(0.005, 0.995, 100)
+        return float(np.mean([min(self.base.quantile(q), self.cap) for q in qs]))
+
+    def quantile(self, q: float) -> float:
+        return min(self.base.quantile(q), self.cap)
+
+
+@dataclass
+class Empirical:
+    """Resample from observed values (a trace).
+
+    ``quantile`` interpolates linearly, matching ``numpy.quantile``.
+    """
+
+    values: List[float] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.values:
+            raise DistributionError("empirical distribution needs at least one value")
+        if any(v < 0 for v in self.values):
+            raise DistributionError("empirical values must be non-negative")
+        self._array = np.asarray(self.values, dtype=float)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self._array[rng.integers(0, len(self._array))])
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self._array[rng.integers(0, len(self._array), size=n)]
+
+    def mean(self) -> float:
+        return float(self._array.mean())
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self._array, q))
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+
+@dataclass(frozen=True)
+class Scaled:
+    """A base distribution with every draw multiplied by ``factor``.
+
+    Used to model input-size scaling and cluster-wide slowdowns.
+    """
+
+    base: "Distribution"
+    factor: float
+
+    def __post_init__(self):
+        if self.factor <= 0:
+            raise DistributionError(f"factor must be positive, got {self.factor!r}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.base.sample(rng) * self.factor
+
+    def mean(self) -> float:
+        return self.base.mean() * self.factor
+
+    def quantile(self, q: float) -> float:
+        return self.base.quantile(q) * self.factor
+
+
+Distribution = Union[
+    Constant,
+    Uniform,
+    Exponential,
+    LogNormal,
+    WithOutliers,
+    Empirical,
+    Scaled,
+    Truncated,
+]
+
+
+def scale(dist: "Distribution", factor: float) -> "Distribution":
+    """Scale a distribution, flattening nested ``Scaled`` wrappers."""
+    if factor == 1.0:
+        return dist
+    if isinstance(dist, Scaled):
+        return Scaled(dist.base, dist.factor * factor)
+    return Scaled(dist, factor)
+
+
+__all__ = [
+    "Constant",
+    "Distribution",
+    "DistributionError",
+    "Empirical",
+    "Exponential",
+    "LogNormal",
+    "Scaled",
+    "Truncated",
+    "Uniform",
+    "WithOutliers",
+    "scale",
+]

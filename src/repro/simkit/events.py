@@ -1,0 +1,205 @@
+"""Discrete-event simulation core.
+
+The :class:`Simulator` owns a virtual clock and a priority queue of pending
+events.  Components schedule callbacks at absolute or relative virtual times;
+``run`` dispatches them in time order (FIFO among ties).  All model time in
+this repository is in *seconds* of virtual time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the simulator (e.g. scheduling in the past)."""
+
+
+class EventHandle:
+    """A cancelable reference to a scheduled event."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A minimal, fast discrete-event simulator.
+
+    Events are plain callbacks.  Ties in virtual time dispatch in scheduling
+    order, which keeps component interactions deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Number of events that have fired so far."""
+        return self._dispatched
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.3f}, now is t={self._now:.3f}"
+            )
+        handle = EventHandle(time, next(self._seq), callback)
+        heapq.heappush(self._queue, (time, handle.seq, handle))
+        return handle
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> "PeriodicTask":
+        """Run ``callback`` every ``period`` seconds until cancelled.
+
+        ``first_delay`` defaults to ``period``.  If ``until`` is given, the
+        task stops once the next firing would exceed that time.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period!r}")
+        return PeriodicTask(self, period, callback, first_delay=first_delay, until=until)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None if empty."""
+        self._drop_cancelled()
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns False if none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        time, _seq, handle = heapq.heappop(self._queue)
+        self._now = time
+        self._dispatched += 1
+        handle.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Dispatch events until the queue drains, ``until`` passes, or
+        ``max_events`` have fired in this call.
+
+        When ``until`` is reached, the clock is advanced to exactly ``until``
+        and later events remain queued.
+        """
+        fired = 0
+        while True:
+            if max_events is not None and fired >= max_events:
+                return
+            self._drop_cancelled()
+            if not self._queue:
+                if until is not None and until > self._now:
+                    self._now = until
+                return
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+            fired += 1
+
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+
+
+class PeriodicTask:
+    """A self-rescheduling periodic callback; created by ``schedule_every``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: Optional[float] = None,
+        until: Optional[float] = None,
+    ):
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._until = until
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+        delay = period if first_delay is None else first_delay
+        self._arm(delay)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _arm(self, delay: float) -> None:
+        target = self._sim.now + delay
+        if self._until is not None and target > self._until:
+            self._stopped = True
+            return
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._arm(self._period)
+
+    def stop(self) -> None:
+        """Stop firing.  Safe to call from inside the callback."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+
+def format_time(seconds: float) -> str:
+    """Render virtual seconds as ``h:mm:ss`` for logs and reports."""
+    seconds = max(0.0, seconds)
+    h, rem = divmod(int(round(seconds)), 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTask",
+    "SimulationError",
+    "Simulator",
+    "format_time",
+]

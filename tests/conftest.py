@@ -1,0 +1,8 @@
+"""Shared pytest configuration for the test suite."""
+
+from hypothesis import settings
+
+# Property tests exercise whole simulations; wall-clock deadlines make them
+# flaky on loaded machines without adding signal.
+settings.register_profile("repro", deadline=None, max_examples=50)
+settings.load_profile("repro")

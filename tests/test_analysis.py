@@ -1,0 +1,129 @@
+"""Unit tests for trace analysis."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    critical_path_tasks,
+    stage_gantt,
+    summarize_trace,
+    utilization_timeline,
+)
+from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
+from repro.jobs.trace import OUTCOME_FAILED, RunTrace, TaskRecord
+
+
+def simple_graph():
+    return JobGraph(
+        "g",
+        [Stage("map", 2), Stage("reduce", 1)],
+        [Edge("map", "reduce", EdgeType.ALL_TO_ALL)],
+    )
+
+
+def simple_trace():
+    """map[0]: 0-10, map[1]: 0-30 (the straggler), reduce[0]: 31-40."""
+    trace = RunTrace(job_name="g", start_time=0.0, deadline=60.0)
+    trace.mark_allocation(0.0, 5)
+    trace.add(TaskRecord("map", 0, 0, 0.0, 0.0, 10.0))
+    trace.add(TaskRecord("map", 1, 0, 0.0, 0.0, 30.0))
+    trace.add(TaskRecord("reduce", 0, 0, 30.0, 31.0, 40.0))
+    trace.end_time = 40.0
+    return trace
+
+
+class TestUtilizationTimeline:
+    def test_mean_concurrency_per_bucket(self):
+        timeline = utilization_timeline(simple_trace(), bucket_seconds=10.0)
+        by_bucket = dict(timeline)
+        assert by_bucket[0.0] == pytest.approx(2.0)   # both maps
+        assert by_bucket[10.0] == pytest.approx(1.0)  # straggler only
+        assert by_bucket[30.0] == pytest.approx(0.9)  # reduce from t=31
+
+    def test_unfinished_rejected(self):
+        with pytest.raises(AnalysisError):
+            utilization_timeline(RunTrace(job_name="g"))
+
+    def test_bad_bucket(self):
+        with pytest.raises(AnalysisError):
+            utilization_timeline(simple_trace(), bucket_seconds=0.0)
+
+
+class TestStageGantt:
+    def test_rows_and_occupancy(self):
+        text = stage_gantt(simple_trace(), width=40)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        map_row, reduce_row = lines
+        assert map_row.startswith("map")
+        # map occupies the first ~75% of the run; reduce the last ~25%.
+        assert map_row.count("█") > reduce_row.count("█")
+        assert reduce_row.rstrip("|").endswith("█")
+
+    def test_unfinished_rejected(self):
+        with pytest.raises(AnalysisError):
+            stage_gantt(RunTrace(job_name="g"))
+
+
+class TestCriticalPath:
+    def test_walks_through_straggler(self):
+        chain = critical_path_tasks(simple_trace(), simple_graph())
+        assert [(l.stage, l.index) for l in chain] == [
+            ("map", 1),
+            ("reduce", 0),
+        ]
+
+    def test_queue_time_captured(self):
+        chain = critical_path_tasks(simple_trace(), simple_graph())
+        assert chain[-1].queue_seconds == pytest.approx(1.0)
+
+    def test_failed_attempts_ignored(self):
+        trace = simple_trace()
+        trace.records.insert(
+            0, TaskRecord("map", 1, 0, 0.0, 0.0, 35.0, outcome=OUTCOME_FAILED)
+        )
+        chain = critical_path_tasks(trace, simple_graph())
+        assert chain[0].end_time == 30.0
+
+    def test_empty_trace_rejected(self):
+        trace = RunTrace(job_name="g")
+        trace.end_time = 1.0
+        with pytest.raises(AnalysisError):
+            critical_path_tasks(trace, simple_graph())
+
+    def test_on_real_run(self):
+        """End-to-end: the realized critical path of a substrate run ends
+        at the job's last-finishing task."""
+        from repro.runtime.jobmanager import JobManager, run_to_completion
+        from repro.simkit.events import Simulator
+        from repro.jobs.workloads import mapreduce_job
+        from tests.test_runtime_jobmanager import quiet_cluster
+
+        job = mapreduce_job(num_maps=40, num_reduces=4)
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        manager = JobManager(cluster, job.graph, job.profile,
+                             initial_allocation=20)
+        trace = run_to_completion(manager)
+        chain = critical_path_tasks(trace, job.graph)
+        assert chain[-1].end_time == pytest.approx(trace.end_time)
+        assert chain[0].stage == "map"
+        assert chain[-1].stage == "reduce"
+
+
+class TestSummarize:
+    def test_contains_key_facts(self):
+        text = summarize_trace(simple_trace(), simple_graph())
+        assert "job 'g'" in text
+        assert "deadline" in text and "met" in text
+        assert "critical path" in text
+
+    def test_without_graph(self):
+        text = summarize_trace(simple_trace())
+        assert "critical path" not in text
+
+    def test_reports_bad_attempts(self):
+        trace = simple_trace()
+        trace.add(TaskRecord("map", 0, 1, 0.0, 0.0, 5.0, outcome=OUTCOME_FAILED))
+        text = summarize_trace(trace)
+        assert "failed=1" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_experiment_validates_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListExperiments:
+    def test_lists_all(self):
+        code, text = run_cli("list-experiments")
+        assert code == 0
+        for exp_id in EXPERIMENTS:
+            assert exp_id in text
+
+
+class TestTrainAndRun:
+    @pytest.fixture(scope="class")
+    def bundle(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "bundle.json"
+        code, text = run_cli(
+            "train", "--job", "mapreduce", "--out", str(path),
+            "--cpa-reps", "2", "--seed", "4",
+        )
+        assert code == 0
+        assert "saved bundle" in text
+        return path
+
+    def test_unknown_job_rejected(self, tmp_path):
+        code, text = run_cli(
+            "train", "--job", "Z", "--out", str(tmp_path / "x.json")
+        )
+        assert code == 2
+        assert "unknown job" in text
+
+    def test_run_meets_generous_deadline(self, bundle):
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2",
+        )
+        assert code == 0
+        assert "MET" in text
+
+    def test_run_misses_impossible_deadline(self, bundle):
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "1",
+            "--seed", "2",
+        )
+        assert code == 1
+        assert "MISSED" in text
+
+    @pytest.mark.parametrize(
+        "policy", ["jockey-online-model", "jockey-no-adapt", "jockey-no-sim",
+                   "max-allocation"],
+    )
+    def test_all_policies_run(self, bundle, policy):
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--policy", policy, "--seed", "2",
+        )
+        assert code in (0, 1)
+        assert "finished in" in text
+
+    def test_run_with_missing_bundle(self, tmp_path):
+        code, text = run_cli(
+            "run", "--bundle", str(tmp_path / "nope.json"),
+            "--deadline-minutes", "10",
+        )
+        assert code == 2
+        assert "cannot load" in text
+
+
+class TestExperimentCommand:
+    def test_runs_fig1_smoke(self):
+        code, text = run_cli("experiment", "fig1", "--scale", "smoke")
+        assert code == 0
+        assert "fig1" in text
+
+    def test_runs_table2_smoke(self):
+        code, text = run_cli("experiment", "table2", "--scale", "smoke")
+        assert code == 0
+        assert "table2" in text

@@ -1,0 +1,206 @@
+"""Unit and property tests for token accounting (guaranteed + spare)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.tokens import (
+    Consumer,
+    Grant,
+    TokenError,
+    TokenPool,
+    compute_grants,
+)
+
+
+def consumers(*specs):
+    """specs: (name, guaranteed, demand[, weight]) tuples."""
+    out = []
+    for spec in specs:
+        name, guaranteed, demand = spec[:3]
+        weight = spec[3] if len(spec) > 3 else None
+        c = Consumer(name, guaranteed, weight=weight)
+        c.demand = demand
+        out.append(c)
+    return out
+
+
+class TestComputeGrants:
+    def test_under_demand_gets_demand(self):
+        [grant] = compute_grants(100, consumers(("a", 50, 20)))
+        assert grant.total == 20
+        assert grant.guaranteed_part == 20
+
+    def test_guaranteed_respected_under_contention(self):
+        grants = compute_grants(
+            100, consumers(("a", 60, 100), ("b", 40, 100))
+        )
+        assert [g.total for g in grants] == [60, 40]
+        assert all(g.spare_part == 0 for g in grants)
+
+    def test_spare_flows_to_unmet_demand(self):
+        grants = compute_grants(100, consumers(("a", 60, 20), ("b", 40, 100)))
+        assert grants[0].total == 20
+        assert grants[1].total == 80
+        assert grants[1].guaranteed_part == 40
+        assert grants[1].spare_part == 40
+
+    def test_spare_split_by_weight(self):
+        grants = compute_grants(
+            120,
+            consumers(("a", 30, 1000, 30.0), ("b", 30, 1000, 90.0)),
+        )
+        # 60 spare split 1:3.
+        assert grants[0].total == 30 + 15
+        assert grants[1].total == 30 + 45
+
+    def test_water_filling_recirculates_surplus(self):
+        grants = compute_grants(
+            100,
+            consumers(("a", 20, 25, 50.0), ("b", 20, 1000, 50.0)),
+        )
+        # a's unmet demand is tiny (5); the rest of the 60 spare goes to b.
+        assert grants[0].total == 25
+        assert grants[1].total == 75
+
+    def test_capacity_degradation_shrinks_bases(self):
+        grants = compute_grants(50, consumers(("a", 60, 60), ("b", 40, 40)))
+        assert sum(g.total for g in grants) == 50
+        assert grants[0].total == 30
+        assert grants[1].total == 20
+
+    def test_no_consumers(self):
+        assert compute_grants(100, []) == []
+
+    def test_zero_capacity(self):
+        [grant] = compute_grants(0, consumers(("a", 10, 10)))
+        assert grant.total == 0
+
+    def test_grants_never_exceed_demand(self):
+        grants = compute_grants(1000, consumers(("a", 10, 3), ("b", 10, 7)))
+        assert [g.total for g in grants] == [3, 7]
+
+    @given(
+        capacity=st.integers(0, 500),
+        specs=st.lists(
+            st.tuples(
+                st.integers(0, 100),   # guaranteed
+                st.integers(0, 400),   # demand
+                st.floats(0.5, 100.0), # weight
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=200)
+    def test_invariants(self, capacity, specs):
+        cs = consumers(
+            *[(f"c{i}", g, d, w) for i, (g, d, w) in enumerate(specs)]
+        )
+        grants = compute_grants(capacity, cs)
+        total = sum(g.total for g in grants)
+        assert total <= capacity
+        for c, g in zip(cs, grants):
+            assert 0 <= g.total <= c.demand
+            assert 0 <= g.guaranteed_part <= g.total
+            assert g.guaranteed_part <= max(c.guaranteed, g.total)
+        # Work conservation: if any consumer has unmet demand, the pool is
+        # fully used (up to sum of demands).
+        unmet = any(g.total < c.demand for c, g in zip(cs, grants))
+        total_demand = sum(c.demand for c in cs)
+        if unmet and total_demand >= capacity:
+            assert total == capacity
+
+
+class TestTokenPool:
+    def test_register_and_grant(self):
+        pool = TokenPool(100)
+        consumer = pool.register(Consumer("a", 40))
+        pool.set_demand("a", 50)
+        assert consumer.grant.total == 50  # 40 guaranteed + 10 spare
+
+    def test_duplicate_name_rejected(self):
+        pool = TokenPool(100)
+        pool.register(Consumer("a", 10))
+        with pytest.raises(TokenError):
+            pool.register(Consumer("a", 10))
+
+    def test_over_reservation_rejected(self):
+        pool = TokenPool(100)
+        pool.register(Consumer("a", 80))
+        with pytest.raises(TokenError):
+            pool.register(Consumer("b", 30))
+
+    def test_set_guaranteed_clamps_to_headroom(self):
+        pool = TokenPool(100)
+        pool.register(Consumer("bg", 70))
+        pool.register(Consumer("job", 0))
+        applied = pool.set_guaranteed("job", 50)
+        assert applied == 30
+
+    def test_unregister_frees_guarantee(self):
+        pool = TokenPool(100)
+        pool.register(Consumer("a", 80))
+        pool.unregister("a")
+        pool.register(Consumer("b", 100))
+
+    def test_unknown_consumer(self):
+        pool = TokenPool(10)
+        with pytest.raises(TokenError):
+            pool.set_demand("ghost", 1)
+        with pytest.raises(TokenError):
+            pool.unregister("ghost")
+
+    def test_grant_callback_fired_on_change(self):
+        pool = TokenPool(100)
+        grants = []
+        pool.register(Consumer("a", 40, on_grant=grants.append))
+        pool.set_demand("a", 10)
+        pool.set_demand("a", 10)  # no change, no callback
+        assert len(grants) == 1
+        assert grants[0].total == 10
+
+    def test_capacity_change_triggers_regrant(self):
+        pool = TokenPool(100)
+        grants = []
+        pool.register(Consumer("a", 100, on_grant=grants.append))
+        pool.set_demand("a", 100)
+        pool.set_capacity(50)
+        assert grants[-1].total == 50
+
+    def test_reentrant_recompute_coalesces(self):
+        pool = TokenPool(100)
+        calls = []
+
+        def on_grant(grant):
+            calls.append(grant.total)
+            if len(calls) == 1:
+                pool.set_demand("a", 20)  # re-entrant change
+
+        pool.register(Consumer("a", 40, on_grant=on_grant))
+        pool.set_demand("a", 40)
+        assert calls[-1] == 20
+
+    def test_negative_values_rejected(self):
+        pool = TokenPool(10)
+        pool.register(Consumer("a", 5))
+        with pytest.raises(TokenError):
+            pool.set_demand("a", -1)
+        with pytest.raises(TokenError):
+            pool.set_guaranteed("a", -1)
+        with pytest.raises(TokenError):
+            pool.set_capacity(-5)
+        with pytest.raises(TokenError):
+            Consumer("x", -1)
+
+    def test_snapshot(self):
+        pool = TokenPool(100)
+        pool.register(Consumer("a", 10))
+        pool.set_demand("a", 5)
+        snap = pool.snapshot()
+        assert snap["a"].total == 5
+
+    def test_weight_defaults_to_guarantee(self):
+        assert Consumer("a", 25).weight == 25.0
+        assert Consumer("b", 0).weight == 1.0
+        assert Consumer("c", 25, weight=3.0).weight == 3.0

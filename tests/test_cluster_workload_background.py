@@ -1,0 +1,142 @@
+"""Unit tests for the task-level background workload."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Consumer
+from repro.cluster.tokens import TokenPool
+from repro.cluster.workload_background import (
+    WorkloadBackground,
+    WorkloadBackgroundConfig,
+    WorkloadBackgroundError,
+)
+from repro.simkit.events import Simulator
+from repro.simkit.random import RngRegistry
+
+
+def make_workload(sim, pool, seed=0, **config_kwargs):
+    defaults = dict(
+        interarrival_seconds=60.0,
+        tasks_median=30,
+        task_median_seconds=20.0,
+        guaranteed_range=(5, 15),
+        reserve_headroom=50,
+    )
+    defaults.update(config_kwargs)
+    return WorkloadBackground(
+        sim, pool, np.random.default_rng(seed),
+        config=WorkloadBackgroundConfig(**defaults),
+        warm_start_jobs=4,
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(interarrival_seconds=0.0),
+            dict(tasks_median=0),
+            dict(task_median_seconds=0.0),
+            dict(guaranteed_range=(10, 5)),
+            dict(reserve_headroom=-1),
+        ],
+    )
+    def test_rejected(self, kwargs):
+        with pytest.raises(WorkloadBackgroundError):
+            WorkloadBackgroundConfig(**kwargs)
+
+
+class TestWorkloadBackground:
+    def test_jobs_arrive_run_and_finish(self):
+        sim = Simulator()
+        pool = TokenPool(200)
+        workload = make_workload(sim, pool)
+        sim.run(until=4 * 3600.0)
+        assert workload.jobs_started > 4
+        assert workload.jobs_finished > 0
+
+    def test_occupies_capacity(self):
+        sim = Simulator()
+        pool = TokenPool(200)
+        workload = make_workload(sim, pool)
+        busy = []
+        sim.schedule_every(120.0, lambda: busy.append(workload.tasks_in_flight))
+        sim.run(until=3600.0)
+        assert max(busy) > 20
+
+    def test_respects_reserve_headroom(self):
+        sim = Simulator()
+        pool = TokenPool(200)
+        make_workload(sim, pool, reserve_headroom=80)
+        sim.run(until=1800.0)
+        assert pool.guaranteed_headroom() >= 80
+
+    def test_slo_job_can_still_reserve(self):
+        sim = Simulator()
+        pool = TokenPool(200)
+        make_workload(sim, pool, reserve_headroom=80)
+        sim.run(until=600.0)
+        slo = pool.register(Consumer("slo", 80))
+        pool.set_demand("slo", 80)
+        assert slo.grant.guaranteed_part == 80
+
+    def test_background_tasks_evicted_by_guaranteed_demand(self):
+        """An SLO job claiming its guarantee mid-run pushes background
+        spare-token tasks out."""
+        sim = Simulator()
+        pool = TokenPool(100)
+        workload = make_workload(
+            sim, pool, guaranteed_range=(2, 4), reserve_headroom=60,
+            tasks_median=200,
+        )
+        sim.run(until=900.0)
+        in_flight_before = workload.tasks_in_flight
+        assert in_flight_before > 20  # mostly on spare tokens
+        pool.register(Consumer("slo", 60))
+        pool.set_demand("slo", 60)
+        sim.run(until=901.0)
+        assert workload.tasks_in_flight < in_flight_before
+
+    def test_deterministic(self):
+        counts = []
+        for _ in range(2):
+            sim = Simulator()
+            pool = TokenPool(150)
+            workload = make_workload(sim, pool, seed=9)
+            sim.run(until=3600.0)
+            counts.append((workload.jobs_started, workload.jobs_finished))
+        assert counts[0] == counts[1]
+
+    def test_integrates_with_cluster_facade(self):
+        """Full stack: an SLO job runs against task-level background."""
+        from repro.jobs.workloads import mapreduce_job
+        from repro.runtime.jobmanager import JobManager, run_to_completion
+
+        sim = Simulator()
+        cluster = Cluster(
+            sim,
+            ClusterConfig(
+                background_guaranteed=0,       # disable the demand process
+                spare_soaker_weight=0.0,
+                machine_mtbf_seconds=None,
+            ),
+            rng=RngRegistry(3),
+        )
+        WorkloadBackground(
+            sim, cluster.pool, RngRegistry(3).stream("bg-workload"),
+            config=WorkloadBackgroundConfig(
+                interarrival_seconds=45.0,
+                tasks_median=80,
+                task_median_seconds=30.0,
+                guaranteed_range=(10, 30),
+                reserve_headroom=100,
+            ),
+        )
+        job = mapreduce_job(num_maps=120, num_reduces=10)
+        manager = JobManager(
+            cluster, job.graph, job.profile, initial_allocation=40,
+            rng=RngRegistry(3).stream("slo"),
+        )
+        trace = run_to_completion(manager)
+        assert trace.finished
+        assert len(trace.successful_records()) == job.graph.num_vertices

@@ -1,0 +1,126 @@
+"""Unit tests for online model correction (paper §5.6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveCpaPredictor, ModelErrorMonitor, make_monitor
+from repro.core.control import ControlError
+from repro.core.cpa import CpaTable
+from repro.core.progress import totalwork
+from tests.test_core_simulator import deterministic_profile
+
+
+class TestModelErrorMonitor:
+    def test_starts_neutral(self):
+        monitor = ModelErrorMonitor(1000.0)
+        assert monitor.inflation == 1.0
+
+    def test_ignores_early_noise(self):
+        monitor = ModelErrorMonitor(1000.0, min_progress=0.1)
+        monitor.observe(0.02, 500.0)  # ratio 25, but progress too low
+        assert monitor.inflation == 1.0
+        assert monitor.observations == 0
+
+    def test_converges_to_true_inflation(self):
+        monitor = ModelErrorMonitor(1000.0, smoothing=0.5)
+        # A 1.5x-heavy run: consumption always 1.5x model-implied work.
+        for progress in (0.1, 0.2, 0.4, 0.6, 0.8, 1.0):
+            monitor.observe(progress, 1.5 * progress * 1000.0)
+        assert monitor.inflation == pytest.approx(1.5, abs=0.05)
+
+    def test_light_run_deflates(self):
+        monitor = ModelErrorMonitor(1000.0, smoothing=0.5)
+        for progress in (0.2, 0.5, 0.9):
+            monitor.observe(progress, 0.85 * progress * 1000.0)
+        assert monitor.inflation < 1.0
+
+    def test_clamped(self):
+        monitor = ModelErrorMonitor(1000.0, smoothing=1.0, clamp=(0.8, 3.0))
+        monitor.observe(0.5, 100.0 * 0.5 * 1000.0)  # ratio 100 -> clamp 3.0
+        assert monitor.inflation == 3.0
+
+    def test_smoothing_is_gradual(self):
+        monitor = ModelErrorMonitor(1000.0, smoothing=0.25)
+        monitor.observe(0.5, 2.0 * 0.5 * 1000.0)
+        assert monitor.inflation == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ControlError):
+            ModelErrorMonitor(0.0)
+        with pytest.raises(ControlError):
+            ModelErrorMonitor(10.0, min_progress=0.0)
+        with pytest.raises(ControlError):
+            ModelErrorMonitor(10.0, clamp=(1.5, 3.0))
+        with pytest.raises(ControlError):
+            ModelErrorMonitor(10.0, smoothing=0.0)
+        monitor = ModelErrorMonitor(10.0)
+        with pytest.raises(ControlError):
+            monitor.observe(1.5, 10.0)
+        with pytest.raises(ControlError):
+            monitor.observe(0.5, -1.0)
+
+
+class TestAdaptiveCpaPredictor:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        profile = deterministic_profile()
+        indicator = totalwork(profile)
+        table = CpaTable.build(
+            profile, indicator, np.random.default_rng(0),
+            allocations=(1, 2, 4, 8), reps=3, num_bins=20, sample_dt=2.0,
+        )
+        return profile, indicator, table
+
+    def test_scales_with_inflation(self, artifacts):
+        profile, indicator, table = artifacts
+        monitor = make_monitor(profile, smoothing=1.0)
+        predictor = AdaptiveCpaPredictor(table, indicator, monitor)
+        zero = {"map": 0.0, "reduce": 0.0}
+        base = predictor.remaining_seconds(zero, 4)
+        monitor.observe(0.5, 2.0 * 0.5 * profile.total_work_seconds())
+        assert predictor.remaining_seconds(zero, 4) == pytest.approx(2.0 * base)
+
+    def test_neutral_matches_plain_predictor(self, artifacts):
+        from repro.core.control import CpaPredictor
+
+        profile, indicator, table = artifacts
+        monitor = make_monitor(profile)
+        adaptive = AdaptiveCpaPredictor(table, indicator, monitor, percentile=0.6)
+        plain = CpaPredictor(table, indicator, percentile=0.6)
+        zero = {"map": 0.0, "reduce": 0.0}
+        assert adaptive.remaining_seconds(zero, 4) == plain.remaining_seconds(zero, 4)
+
+
+class TestAdaptivePolicyEndToEnd:
+    def test_heavy_run_raises_allocation_earlier(self):
+        """On a 1.6x-heavy input, the corrected policy's mid-run allocation
+        exceeds plain Jockey's (it sees the divergence sooner)."""
+        from repro.experiments.runner import RunConfig, make_policy, run_experiment
+        from repro.experiments.scenarios import SMOKE, trained_job
+
+        tj = trained_job("C", seed=0, scale=SMOKE)
+        mid_allocs = {}
+        for kind in ("jockey", "jockey-online-model"):
+            policy = make_policy(kind, tj, tj.short_deadline)
+            result = run_experiment(
+                tj, policy,
+                RunConfig(deadline_seconds=tj.short_deadline, seed=77,
+                          runtime_scale=1.6, sample_cluster_day=False),
+            )
+            series = [a for _t, a in result.allocation_series]
+            mid_allocs[kind] = max(series)
+        assert mid_allocs["jockey-online-model"] >= mid_allocs["jockey"]
+
+    def test_monitor_observes_during_run(self):
+        from repro.experiments.runner import RunConfig, make_policy, run_experiment
+        from repro.experiments.scenarios import SMOKE, trained_job
+
+        tj = trained_job("C", seed=0, scale=SMOKE)
+        policy = make_policy("jockey-online-model", tj, tj.short_deadline)
+        run_experiment(
+            tj, policy,
+            RunConfig(deadline_seconds=tj.short_deadline, seed=78,
+                      runtime_scale=1.5, sample_cluster_day=False),
+        )
+        assert policy.monitor.observations > 0
+        assert policy.monitor.inflation > 1.0

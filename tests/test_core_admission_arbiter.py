@@ -1,0 +1,159 @@
+"""Unit tests for admission control and the global arbiter."""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionError,
+    SloRequest,
+)
+from repro.core.arbiter import ArbiterError, ArbiterJob, arbitrate
+from repro.core.cpa import CpaTable
+from repro.core.progress import totalwork
+from repro.core.utility import deadline_utility
+from tests.test_core_simulator import deterministic_profile
+
+
+@pytest.fixture(scope="module")
+def table():
+    profile = deterministic_profile()  # ~70s serial, ~15s wide
+    return CpaTable.build(
+        profile, totalwork(profile), np.random.default_rng(0),
+        allocations=(1, 2, 4, 8), reps=3, num_bins=20, sample_dt=2.0,
+    )
+
+
+def request(name, deadline, table, **kwargs):
+    return SloRequest(name=name, table=table, deadline_seconds=deadline, **kwargs)
+
+
+class TestSloRequest:
+    def test_min_allocation_loose_deadline(self, table):
+        assert request("j", 200.0, table).min_allocation(slack=1.0) == 1
+
+    def test_min_allocation_tight_deadline(self, table):
+        minimum = request("j", 30.0, table).min_allocation(slack=1.0, q=0.95)
+        assert minimum in (4, 8)
+
+    def test_min_allocation_infeasible(self, table):
+        assert request("j", 5.0, table).min_allocation() is None
+
+    def test_elapsed_shrinks_budget(self, table):
+        fresh = request("j", 80.0, table).min_allocation(slack=1.0, q=0.95)
+        started = request(
+            "j", 80.0, table, elapsed_seconds=50.0
+        ).min_allocation(slack=1.0, q=0.95)
+        assert started > fresh
+
+    def test_validation(self, table):
+        with pytest.raises(AdmissionError):
+            request("j", -1.0, table)
+        with pytest.raises(AdmissionError):
+            request("j", 10.0, table, progress=2.0)
+
+
+class TestAdmissionController:
+    def test_admits_when_fits(self, table):
+        controller = AdmissionController(10, slack=1.0, q=0.95)
+        decision = controller.admit(request("a", 200.0, table))
+        assert decision.admitted
+        assert decision.reservations["a"] == 1
+
+    def test_rejects_when_over_capacity(self, table):
+        controller = AdmissionController(5, slack=1.0, q=0.95)
+        assert controller.admit(request("a", 30.0, table)).admitted
+        decision = controller.evaluate(request("b", 30.0, table))
+        assert not decision.admitted
+        assert "guaranteed tokens" in decision.reason
+
+    def test_rejects_infeasible_job(self, table):
+        controller = AdmissionController(100)
+        decision = controller.evaluate(request("a", 5.0, table))
+        assert not decision.admitted
+        assert "cannot meet" in decision.reason
+
+    def test_evaluate_does_not_admit(self, table):
+        controller = AdmissionController(10, slack=1.0, q=0.95)
+        controller.evaluate(request("a", 200.0, table))
+        assert controller.admitted_jobs == []
+
+    def test_release_frees_capacity(self, table):
+        controller = AdmissionController(5, slack=1.0, q=0.95)
+        controller.admit(request("a", 30.0, table))
+        controller.release("a")
+        assert controller.admit(request("b", 30.0, table)).admitted
+
+    def test_release_unknown(self, table):
+        with pytest.raises(AdmissionError):
+            AdmissionController(5).release("ghost")
+
+    def test_duplicate_names_rejected(self, table):
+        controller = AdmissionController(100, slack=1.0, q=0.95)
+        controller.admit(request("a", 200.0, table))
+        with pytest.raises(AdmissionError):
+            controller.evaluate(request("a", 200.0, table))
+
+    def test_bad_capacity(self):
+        with pytest.raises(AdmissionError):
+            AdmissionController(0)
+
+
+class LinearJob:
+    """Predictor stub: remaining = work / allocation."""
+
+    name = "stub"
+
+    def __init__(self, work):
+        self.work = work
+
+    def remaining_seconds(self, fractions, allocation):
+        return self.work / allocation
+
+
+def arbiter_job(name, work, deadline, elapsed=0.0):
+    return ArbiterJob(
+        name=name,
+        predictor=LinearJob(work),
+        utility=deadline_utility(deadline),
+        fractions={},
+        elapsed_seconds=elapsed,
+        slack=1.0,
+    )
+
+
+class TestArbiter:
+    def test_budget_respected(self):
+        jobs = [arbiter_job("a", 10_000.0, 3600.0), arbiter_job("b", 10_000.0, 3600.0)]
+        allocations = arbitrate(jobs, 40, step=1)
+        assert sum(allocations.values()) <= 40
+
+    def test_tight_job_gets_more(self):
+        tight = arbiter_job("tight", 50_000.0, 1000.0)
+        slack = arbiter_job("slack", 50_000.0, 10_000.0)
+        allocations = arbitrate([tight, slack], 70, step=5)
+        assert allocations["tight"] > allocations["slack"]
+
+    def test_both_meet_when_possible(self):
+        a = arbiter_job("a", 30_000.0, 2000.0)   # needs 15
+        b = arbiter_job("b", 60_000.0, 2000.0)   # needs 30
+        allocations = arbitrate([a, b], 60, step=1)
+        assert 30_000.0 / allocations["a"] <= 2000.0
+        assert 60_000.0 / allocations["b"] <= 2000.0
+
+    def test_no_gain_stops_early(self):
+        jobs = [arbiter_job("a", 100.0, 36_000.0)]  # trivially satisfied
+        allocations = arbitrate(jobs, 100, step=5)
+        assert allocations["a"] < 100
+
+    def test_empty(self):
+        assert arbitrate([], 10) == {}
+
+    def test_errors(self):
+        jobs = [arbiter_job("a", 1.0, 10.0), arbiter_job("a", 1.0, 10.0)]
+        with pytest.raises(ArbiterError):
+            arbitrate(jobs, 10)
+        with pytest.raises(ArbiterError):
+            arbitrate([arbiter_job("a", 1.0, 10.0)], 0)
+        with pytest.raises(ArbiterError):
+            arbitrate([arbiter_job("a", 1.0, 10.0)], 10, step=0)

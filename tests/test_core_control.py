@@ -1,0 +1,196 @@
+"""Unit tests for the control loop (raw argmax, slack, hysteresis, dead
+zone) using an exactly-solvable stub predictor."""
+
+import math
+
+import pytest
+
+from repro.core.control import (
+    ControlConfig,
+    ControlError,
+    CpaPredictor,
+    JockeyController,
+)
+from repro.core.utility import deadline_utility
+
+
+class LinearPredictor:
+    """remaining = work / allocation: a pure Amdahl-parallel job."""
+
+    name = "stub"
+
+    def __init__(self, work_token_seconds=60_000.0):
+        self.work = work_token_seconds
+
+    def remaining_seconds(self, fractions, allocation):
+        done = fractions.get("s", 0.0)
+        return (1.0 - done) * self.work / allocation
+
+
+def controller(work=60_000.0, deadline=3600.0, **config_kwargs):
+    defaults = dict(slack=1.0, hysteresis=1.0, dead_zone_seconds=0.0,
+                    min_tokens=5, max_tokens=100, allocation_step=5)
+    defaults.update(config_kwargs)
+    return JockeyController(
+        LinearPredictor(work),
+        deadline_utility(deadline),
+        ControlConfig(**defaults),
+        stage_names=("s",),
+    )
+
+
+class TestRawAllocation:
+    def test_picks_minimum_allocation_meeting_deadline(self):
+        # work 60000 token-seconds, deadline 3600s -> need ceil(16.7) = 20
+        # on the 5-step grid.
+        ctl = controller()
+        assert ctl.initial_allocation() == 20
+
+    def test_slack_raises_requirement(self):
+        # With slack 1.25: need 60000*1.25/3600 = 20.8 -> 25 on the grid.
+        ctl = controller(slack=1.25)
+        assert ctl.initial_allocation() == 25
+
+    def test_dead_zone_shifts_deadline(self):
+        # Effective deadline 3000s: need 20 tokens exactly; 60000/20=3000.
+        ctl = controller(dead_zone_seconds=600.0)
+        assert ctl.initial_allocation() == 20
+        # A slightly longer job no longer fits at 20.
+        ctl2 = controller(work=61_000.0, dead_zone_seconds=600.0)
+        assert ctl2.initial_allocation() == 25
+
+    def test_impossible_deadline_pegs_to_max(self):
+        ctl = controller(work=10_000_000.0)
+        assert ctl.initial_allocation() == 100
+
+    def test_trivial_job_takes_minimum(self):
+        ctl = controller(work=100.0)
+        assert ctl.initial_allocation() == 5
+
+    def test_progress_lowers_allocation(self):
+        ctl = controller()
+        ctl.initial_allocation()
+        decision = ctl.decide({"s": 0.9}, elapsed=600.0)
+        # Remaining 6000 token-seconds, 3000s left -> 5 tokens suffice.
+        assert decision.raw == 5
+
+    def test_falling_behind_raises_allocation(self):
+        ctl = controller()
+        ctl.initial_allocation()
+        decision = ctl.decide({"s": 0.1}, elapsed=2800.0)
+        # 54000 token-seconds left in 800s -> needs 67.5 -> 70.
+        assert decision.raw == 70
+
+
+class TestHysteresis:
+    def test_alpha_one_jumps_immediately(self):
+        ctl = controller(hysteresis=1.0)
+        ctl.initial_allocation()
+        decision = ctl.decide({"s": 0.0}, elapsed=2000.0)
+        assert decision.allocation == decision.raw
+
+    def test_smoothing_moves_partially(self):
+        ctl = controller(hysteresis=0.5)
+        assert ctl.initial_allocation() == 20
+        decision = ctl.decide({"s": 0.1}, elapsed=2800.0)  # raw 70
+        assert decision.smoothed == pytest.approx(20 + 0.5 * (70 - 20))
+        assert decision.allocation == 45
+
+    def test_smoothing_converges_geometrically(self):
+        ctl = controller(hysteresis=0.5)
+        ctl.initial_allocation()  # 20
+        gaps = []
+        for _ in range(5):
+            decision = ctl.decide({"s": 0.1}, elapsed=2800.0)
+            gaps.append(70 - decision.smoothed)
+        for a, b in zip(gaps, gaps[1:]):
+            assert b == pytest.approx(a / 2)
+
+    def test_allocation_rounds_up(self):
+        ctl = controller(hysteresis=0.1)
+        ctl.initial_allocation()  # 20
+        decision = ctl.decide({"s": 0.1}, elapsed=2800.0)  # raw 70
+        assert decision.smoothed == pytest.approx(25.0)
+        assert decision.allocation == 25
+
+    def test_decisions_recorded(self):
+        ctl = controller()
+        ctl.initial_allocation()
+        ctl.decide({"s": 0.0}, elapsed=60.0)
+        ctl.decide({"s": 0.1}, elapsed=120.0)
+        assert len(ctl.decisions) == 2
+
+
+class TestUtilityChanges:
+    def test_halved_deadline_raises_allocation(self):
+        ctl = controller()
+        ctl.initial_allocation()
+        before = ctl.decide({"s": 0.0}, elapsed=0.0).raw
+        ctl.set_utility(deadline_utility(1800.0))
+        after = ctl.decide({"s": 0.0}, elapsed=0.0).raw
+        assert before == 20
+        assert after == 35  # 60000/1800 = 33.3 -> 35
+
+    def test_extended_deadline_releases(self):
+        ctl = controller()
+        ctl.initial_allocation()
+        ctl.set_utility(deadline_utility(7200.0))
+        assert ctl.decide({"s": 0.0}, elapsed=0.0).raw == 10
+
+
+class TestGridFloor:
+    def test_floor_removes_low_allocations(self):
+        ctl = JockeyController(
+            LinearPredictor(100.0),
+            deadline_utility(3600.0),
+            ControlConfig(slack=1.0, hysteresis=1.0, dead_zone_seconds=0.0,
+                          min_tokens=1, max_tokens=100, allocation_step=5),
+            stage_names=("s",),
+            grid_floor=10,
+        )
+        assert ctl.initial_allocation() >= 10
+
+    def test_empty_floored_grid_falls_back_to_floor(self):
+        ctl = JockeyController(
+            LinearPredictor(100.0),
+            deadline_utility(3600.0),
+            ControlConfig(min_tokens=1, max_tokens=8, allocation_step=1),
+            stage_names=("s",),
+            grid_floor=50,
+        )
+        assert ctl.initial_allocation() == 50
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(period_seconds=0.0),
+            dict(slack=0.9),
+            dict(hysteresis=0.0),
+            dict(hysteresis=1.5),
+            dict(dead_zone_seconds=-1.0),
+            dict(min_tokens=0),
+            dict(min_tokens=50, max_tokens=10),
+            dict(allocation_step=0),
+        ],
+    )
+    def test_rejected(self, kwargs):
+        with pytest.raises(ControlError):
+            ControlConfig(**kwargs)
+
+    def test_grid_includes_max(self):
+        config = ControlConfig(min_tokens=1, max_tokens=17, allocation_step=5)
+        assert config.allocation_grid()[-1] == 17
+
+    def test_missing_stage_names_rejected_for_initial(self):
+        ctl = JockeyController(
+            LinearPredictor(), deadline_utility(3600.0), ControlConfig()
+        )
+        with pytest.raises(ControlError):
+            ctl.initial_allocation()
+
+    def test_cpa_predictor_percentile_validated(self):
+        from tests.test_core_cpa import deterministic_profile  # noqa: F401
+        with pytest.raises(ControlError):
+            CpaPredictor(object(), object(), percentile=2.0)

@@ -1,0 +1,97 @@
+"""Unit tests for the C(p, a) tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.cpa import CpaError, CpaTable
+from repro.core.progress import totalwork
+from tests.test_core_simulator import deterministic_profile
+
+
+@pytest.fixture
+def table():
+    profile = deterministic_profile()  # 6x10s maps -> barrier -> 2x5s reduces
+    return CpaTable.build(
+        profile,
+        totalwork(profile),
+        np.random.default_rng(0),
+        allocations=(1, 2, 4, 8),
+        reps=3,
+        num_bins=20,
+        sample_dt=2.0,
+    )
+
+
+class TestBuildAndQuery:
+    def test_predicted_duration_matches_deterministic_job(self, table):
+        # At a=4: waves 4+2 of maps (20s) + 5s reduce = 25s.  The p=0 bin
+        # also holds "started but nothing finished yet" samples (the
+        # paper's sampling does the same), so the median sits below 25 and
+        # the high percentile at 25.
+        assert table.predicted_duration(4, q=0.99) == pytest.approx(25.0, abs=1.0)
+        assert 15.0 <= table.predicted_duration(4, q=0.5) <= 25.0
+        assert table.predicted_duration(1, q=0.99) == pytest.approx(70.0, abs=1.0)
+
+    def test_remaining_decreases_with_progress(self, table):
+        values = [table.remaining(p, 4, q=0.5) for p in (0.0, 0.3, 0.6, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_remaining_decreases_with_allocation(self, table):
+        at_zero = [table.remaining(0.0, a, q=0.5) for a in (1, 2, 4, 8)]
+        assert at_zero == sorted(at_zero, reverse=True)
+
+    def test_interpolation_between_grid_points(self, table):
+        lo = table.remaining(0.0, 2, q=0.5)
+        hi = table.remaining(0.0, 4, q=0.5)
+        mid = table.remaining(0.0, 3, q=0.5)
+        assert min(lo, hi) <= mid <= max(lo, hi)
+
+    def test_clamps_outside_grid(self, table):
+        assert table.remaining(0.0, 0.5, q=0.5) == table.remaining(0.0, 1, q=0.5)
+        assert table.remaining(0.0, 500, q=0.5) == table.remaining(0.0, 8, q=0.5)
+
+    def test_progress_one_near_zero_remaining(self, table):
+        assert table.remaining(1.0, 4, q=0.9) < 10.0
+
+    def test_percentiles_ordered(self, table):
+        lo = table.remaining(0.0, 4, q=0.1)
+        hi = table.remaining(0.0, 4, q=0.9)
+        assert lo <= hi
+
+    def test_min_allocation_for_budget(self, table):
+        # 70s budget: even 1 token suffices (~70s).
+        assert table.min_allocation_for(75.0, q=0.5) == 1
+        # 30s budget: needs 4 tokens (25s) -- 2 tokens take ~35s.
+        assert table.min_allocation_for(30.0, q=0.5) == 4
+
+    def test_min_allocation_infeasible(self, table):
+        assert table.min_allocation_for(1.0, q=0.5) is None
+
+    def test_sample_counts_nonzero(self, table):
+        counts = table.sample_counts()
+        assert set(counts) == {1, 2, 4, 8}
+        assert all(c > 0 for c in counts.values())
+
+
+class TestValidation:
+    def test_bad_progress(self, table):
+        with pytest.raises(CpaError):
+            table.remaining(1.5, 4)
+        with pytest.raises(CpaError):
+            table.remaining(-0.1, 4)
+
+    def test_bad_allocation(self, table):
+        with pytest.raises(CpaError):
+            table.remaining(0.5, 0)
+
+    def test_bad_percentile(self, table):
+        with pytest.raises(CpaError):
+            table.remaining(0.5, 4, q=1.5)
+
+    def test_bad_build_args(self):
+        profile = deterministic_profile()
+        rng = np.random.default_rng(0)
+        with pytest.raises(CpaError):
+            CpaTable.build(profile, totalwork(profile), rng, reps=0)
+        with pytest.raises(CpaError):
+            CpaTable.build(profile, totalwork(profile), rng, num_bins=1)

@@ -1,0 +1,138 @@
+"""Unit tests for the four evaluation policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.control import ControlConfig
+from repro.core.cpa import CpaTable
+from repro.core.policies import (
+    AmdahlPolicy,
+    JockeyPolicy,
+    MaxAllocationPolicy,
+    NoAdaptationPolicy,
+)
+from repro.core.progress import totalwork
+from repro.core.utility import deadline_utility
+from repro.runtime.jobmanager import JobSnapshot
+from tests.test_core_simulator import deterministic_profile
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    profile = deterministic_profile()  # full runtime 15s at high allocation
+    indicator = totalwork(profile)
+    table = CpaTable.build(
+        profile, indicator, np.random.default_rng(0),
+        allocations=(1, 2, 4, 8), reps=3, num_bins=20, sample_dt=2.0,
+    )
+    return profile, indicator, table
+
+
+def snapshot(fractions, elapsed, allocation=4):
+    return JobSnapshot(fractions, elapsed, running=0, allocation=allocation)
+
+
+def config():
+    return ControlConfig(min_tokens=1, max_tokens=8, allocation_step=1,
+                         slack=1.0, hysteresis=1.0, dead_zone_seconds=0.0)
+
+
+class TestJockeyPolicy:
+    def test_initial_allocation_meets_deadline(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = JockeyPolicy(
+            table, indicator, deadline_utility(30.0), config(), profile=profile
+        )
+        a0 = policy.initial_allocation()
+        assert table.predicted_duration(a0, q=0.6) <= 30.0
+
+    def test_adapts_on_tick(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = JockeyPolicy(
+            table, indicator, deadline_utility(80.0), config(), profile=profile
+        )
+        policy.initial_allocation()
+        relaxed = policy.on_tick(snapshot({"map": 0.0, "reduce": 0.0}, 5.0))
+        behind = policy.on_tick(snapshot({"map": 0.0, "reduce": 0.0}, 60.0))
+        assert behind >= relaxed
+
+    def test_respects_table_floor(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = JockeyPolicy(
+            table, indicator, deadline_utility(1000.0), config(), profile=profile
+        )
+        assert policy.initial_allocation() >= min(table.allocations)
+
+    def test_change_utility(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = JockeyPolicy(
+            table, indicator, deadline_utility(80.0), config(), profile=profile
+        )
+        policy.initial_allocation()
+        before = policy.on_tick(snapshot({"map": 0.0, "reduce": 0.0}, 0.0))
+        policy.change_utility(deadline_utility(20.0))
+        after = policy.on_tick(snapshot({"map": 0.0, "reduce": 0.0}, 0.0))
+        assert after >= before
+
+    def test_last_decision_exposed(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = JockeyPolicy(
+            table, indicator, deadline_utility(80.0), config(), profile=profile
+        )
+        assert policy.last_decision() is None
+        policy.initial_allocation()
+        policy.on_tick(snapshot({"map": 0.5, "reduce": 0.0}, 10.0))
+        assert policy.last_decision() is not None
+
+    def test_is_adaptive(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = JockeyPolicy(
+            table, indicator, deadline_utility(80.0), config(), profile=profile
+        )
+        assert policy.adaptive
+        assert policy.name == "jockey"
+
+
+class TestNoAdaptationPolicy:
+    def test_static_allocation(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = NoAdaptationPolicy(
+            table, indicator, deadline_utility(30.0), config(), profile=profile
+        )
+        first = policy.initial_allocation()
+        assert policy.initial_allocation() == first
+        assert policy.on_tick(snapshot({"map": 0.0, "reduce": 0.0}, 1e6)) is None
+
+    def test_not_adaptive(self, artifacts):
+        profile, indicator, table = artifacts
+        policy = NoAdaptationPolicy(
+            table, indicator, deadline_utility(30.0), config(), profile=profile
+        )
+        assert not policy.adaptive
+
+
+class TestAmdahlPolicy:
+    def test_uses_amdahl_model(self, artifacts):
+        profile, _indicator, _table = artifacts
+        policy = AmdahlPolicy(profile, deadline_utility(40.0), config())
+        # Amdahl: S=15, P=70 -> at deadline 40 needs 70/25 = 2.8 -> 3.
+        assert policy.initial_allocation() == 3
+
+    def test_adapts(self, artifacts):
+        profile, _indicator, _table = artifacts
+        policy = AmdahlPolicy(profile, deadline_utility(40.0), config())
+        policy.initial_allocation()
+        behind = policy.on_tick(snapshot({"map": 0.0, "reduce": 0.0}, 30.0))
+        assert behind == 8  # pegged to max: impossible to finish in time
+
+
+class TestMaxAllocationPolicy:
+    def test_constant(self):
+        policy = MaxAllocationPolicy(100)
+        assert policy.initial_allocation() == 100
+        assert policy.on_tick(snapshot({}, 0.0)) is None
+        assert not policy.adaptive
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MaxAllocationPolicy(0)

@@ -1,0 +1,151 @@
+"""Unit tests for Jockey's offline job simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.progress import totalwork
+from repro.core.simulator import (
+    SimulatorError,
+    simulate_durations,
+    simulate_job,
+    simulate_relative_spans,
+)
+from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
+from repro.jobs.profiles import JobProfile, StageProfile
+from repro.simkit.distributions import Constant
+
+
+def deterministic_profile(num_maps=6, num_reduces=2, map_time=10.0,
+                          reduce_time=5.0, failure_prob=0.0):
+    graph = JobGraph(
+        "tiny",
+        [Stage("map", num_maps), Stage("reduce", num_reduces)],
+        [Edge("map", "reduce", EdgeType.ALL_TO_ALL)],
+    )
+    return JobProfile(
+        graph,
+        {
+            "map": StageProfile("map", runtime=Constant(map_time),
+                                failure_prob=failure_prob),
+            "reduce": StageProfile("reduce", runtime=Constant(reduce_time)),
+        },
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestDeterministicJobs:
+    def test_full_parallelism_duration(self, rng):
+        run = simulate_job(deterministic_profile(), 100, rng)
+        assert run.duration == pytest.approx(15.0)
+
+    def test_serial_duration(self, rng):
+        run = simulate_job(deterministic_profile(), 1, rng)
+        assert run.duration == pytest.approx(70.0)
+
+    def test_partial_allocation_wave_scheduling(self, rng):
+        # 6 maps at 10s with 4 tokens: waves of 4 then 2 -> 20s; + 5s reduce.
+        run = simulate_job(deterministic_profile(), 4, rng)
+        assert run.duration == pytest.approx(25.0)
+
+    def test_total_cpu_seconds(self, rng):
+        run = simulate_job(deterministic_profile(), 3, rng)
+        assert run.total_cpu_seconds == pytest.approx(70.0)
+
+    def test_more_tokens_never_slower(self, rng):
+        durations = [
+            simulate_job(deterministic_profile(), a, rng).duration
+            for a in (1, 2, 4, 8, 100)
+        ]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_invalid_allocation(self, rng):
+        with pytest.raises(SimulatorError):
+            simulate_job(deterministic_profile(), 0, rng)
+
+
+class TestFailures:
+    def test_failures_retry_until_success(self, rng):
+        profile = deterministic_profile(failure_prob=0.4)
+        run = simulate_job(profile, 10, rng)
+        assert run.failures > 0
+        assert run.duration > 15.0  # retries cost time
+
+    def test_failure_work_counted_in_cpu(self, rng):
+        profile = deterministic_profile(failure_prob=0.4)
+        run = simulate_job(profile, 10, rng)
+        assert run.total_cpu_seconds > 70.0
+
+
+class TestProgressSampling:
+    def test_samples_cover_run(self, rng):
+        profile = deterministic_profile()
+        indicator = totalwork(profile)
+        run = simulate_job(profile, 4, rng, indicator=indicator, sample_dt=5.0)
+        times = [t for t, _p in run.progress_samples]
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(run.duration)
+
+    def test_progress_monotone_nondecreasing(self, rng):
+        profile = deterministic_profile()
+        indicator = totalwork(profile)
+        run = simulate_job(profile, 4, rng, indicator=indicator, sample_dt=2.0)
+        values = [p for _t, p in run.progress_samples]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_remaining_samples_invert_time(self, rng):
+        profile = deterministic_profile()
+        indicator = totalwork(profile)
+        run = simulate_job(profile, 4, rng, indicator=indicator, sample_dt=5.0)
+        for (t, _p), (p2, remaining) in zip(
+            run.progress_samples, run.remaining_samples()
+        ):
+            assert remaining == pytest.approx(run.duration - t)
+
+    def test_no_indicator_no_samples(self, rng):
+        run = simulate_job(deterministic_profile(), 4, rng)
+        assert run.progress_samples == []
+
+
+class TestSpans:
+    def test_relative_spans_ordered(self, rng):
+        spans = simulate_relative_spans(deterministic_profile(), rng)
+        assert spans["map"][0] == 0.0
+        assert spans["reduce"][0] >= spans["map"][1] - 1e-9
+        assert spans["reduce"][1] == pytest.approx(1.0)
+
+    def test_spans_only_when_tracked(self, rng):
+        run = simulate_job(deterministic_profile(), 4, rng, track_spans=False)
+        assert run.stage_spans == {}
+
+
+class TestSimulateDurations:
+    def test_returns_requested_count(self, rng):
+        durations = simulate_durations(deterministic_profile(), 4, rng, reps=5)
+        assert len(durations) == 5
+        assert all(d == pytest.approx(25.0) for d in durations)
+
+
+class TestAgainstSubstrate:
+    def test_matches_cluster_runtime_for_deterministic_job(self, rng):
+        """The offline simulator and the substrate agree exactly when the
+        job is deterministic and the cluster is quiet — the model gap in
+        the experiments comes only from cluster effects."""
+        from repro.runtime.jobmanager import JobManager, run_to_completion
+        from repro.simkit.events import Simulator
+        from tests.test_runtime_jobmanager import quiet_cluster
+
+        profile = deterministic_profile()
+        offline = simulate_job(profile, 4, rng).duration
+
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=2, slots=2)  # capacity 4
+        manager = JobManager(cluster, profile.graph, profile,
+                             initial_allocation=4)
+        actual = run_to_completion(manager).duration
+        assert offline == pytest.approx(actual)

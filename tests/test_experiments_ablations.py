@@ -1,0 +1,66 @@
+"""Smoke tests for the extension (ablation) experiment drivers."""
+
+import pytest
+
+from repro.experiments import exp_ablation_model, exp_ablation_speculation
+from repro.experiments.scenarios import SMOKE
+
+
+class TestAblationModelDriver:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return exp_ablation_model.run(SMOKE, seed=0)
+
+    def test_row_grid(self, report):
+        expected = len(exp_ablation_model.SCALE_FACTORS) * len(
+            exp_ablation_model.POLICIES
+        )
+        assert len(report.rows) == expected
+
+    def test_policies_and_factors_labelled(self, report):
+        labels = {(row[0], row[1]) for row in report.rows}
+        assert ("1.0x", "jockey") in labels
+        assert ("1.6x", "jockey-online-model") in labels
+
+    def test_metrics_in_range(self, report):
+        for row in report.rows:
+            _factor, _policy, runs, missed, mean_fin, p90_fin, impact = row
+            assert runs > 0
+            assert 0 <= missed <= 100
+            assert 0 < mean_fin <= p90_fin * 1.5
+            assert 0 <= impact <= 100
+
+
+class TestAblationSpeculationDriver:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return exp_ablation_speculation.run(SMOKE, seed=0)
+
+    def test_one_row_per_setting(self, report):
+        assert [row[0] for row in report.rows] == [
+            label for label, _spec in exp_ablation_speculation.SETTINGS
+        ]
+
+    def test_speculation_off_wastes_least_work(self, report):
+        by_label = {row[0]: row for row in report.rows}
+        wasted_off = by_label["off"][5]
+        wasted_on = by_label["mild (3x median)"][5]
+        assert wasted_on > wasted_off
+
+    def test_amplified_profile_has_heavier_tail(self):
+        from repro.experiments.scenarios import trained_job
+        import numpy as np
+
+        tj = trained_job("A", seed=0, scale=SMOKE)
+        heavy = exp_ablation_speculation._amplify_outliers(tj)
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        stage = tj.graph.stages[0].name
+        base_max = max(
+            tj.generated.profile.stage(stage).runtime.sample(rng1)
+            for _ in range(2000)
+        )
+        heavy_max = max(
+            heavy.generated.profile.stage(stage).runtime.sample(rng2)
+            for _ in range(2000)
+        )
+        assert heavy_max > base_max

@@ -1,0 +1,80 @@
+"""Tests for multi-SLO-job co-execution (the paper's future-work arbiter)."""
+
+import pytest
+
+from repro.experiments.multijob import MultiJobResult, run_multi_job
+from repro.experiments.scenarios import SMOKE, trained_jobs
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return list(trained_jobs(seed=0, scale=SMOKE).values())
+
+
+class TestRunMultiJob:
+    def test_all_jobs_finish_independent(self, jobs):
+        result = run_multi_job(jobs, mode="independent", seed=1)
+        assert set(result.per_job) == {t.name for t in jobs}
+        assert all(m.duration_seconds > 0 for m in result.per_job.values())
+
+    def test_all_jobs_finish_arbiter(self, jobs):
+        result = run_multi_job(jobs, mode="arbiter", seed=1)
+        assert set(result.per_job) == {t.name for t in jobs}
+
+    def test_allocation_series_recorded(self, jobs):
+        result = run_multi_job(jobs, mode="arbiter", seed=2)
+        assert result.allocation_series
+        minute, allocations = result.allocation_series[0]
+        assert minute >= 1.0
+        assert set(allocations) <= {t.name for t in jobs}
+
+    def test_slice_never_exceeded_by_arbiter(self, jobs):
+        result = run_multi_job(jobs, mode="arbiter", seed=3, slice_tokens=60)
+        for _minute, allocations in result.allocation_series:
+            assert sum(allocations.values()) <= 60
+
+    def test_heavy_job_receives_more_under_arbiter(self, jobs):
+        """A job with a 1.5x input should end up with a larger share than
+        its equally-deadlined peer at some point in the run."""
+        heavy = jobs[0].name
+        result = run_multi_job(
+            jobs, mode="arbiter", seed=4,
+            runtime_scales={heavy: 1.5},
+        )
+        got_more = any(
+            allocations.get(heavy, 0) > max(
+                (v for k, v in allocations.items() if k != heavy), default=0
+            )
+            for _m, allocations in result.allocation_series
+        )
+        assert got_more
+
+    def test_deterministic(self, jobs):
+        a = run_multi_job(jobs, mode="arbiter", seed=5)
+        b = run_multi_job(jobs, mode="arbiter", seed=5)
+        assert {
+            n: m.duration_seconds for n, m in a.per_job.items()
+        } == {n: m.duration_seconds for n, m in b.per_job.items()}
+
+    def test_validation(self, jobs):
+        with pytest.raises(ValueError):
+            run_multi_job(jobs, mode="chaos")
+        with pytest.raises(ValueError):
+            run_multi_job([])
+        with pytest.raises(ValueError):
+            run_multi_job([jobs[0], jobs[0]])
+
+    def test_result_aggregates(self, jobs):
+        result = run_multi_job(jobs, mode="independent", seed=6)
+        assert result.jobs_missed >= 0
+        assert result.worst_relative_latency > 0
+
+
+class TestExperimentDriver:
+    def test_report_shape(self):
+        from repro.experiments import exp_multijob
+
+        report = exp_multijob.run(SMOKE, seed=0)
+        assert len(report.rows) == 2
+        modes = [row[0] for row in report.rows]
+        assert modes == ["independent", "arbiter"]

@@ -1,0 +1,174 @@
+"""Integration tests: the full training -> modeling -> control pipeline at
+smoke scale.  These are the slowest tests in the suite (a few seconds)."""
+
+import pytest
+
+from repro.core.admission import AdmissionController, SloRequest
+from repro.experiments.runner import (
+    POLICY_KINDS,
+    RunConfig,
+    make_policy,
+    run_experiment,
+    run_suite,
+    sample_runtime_scale,
+)
+from repro.experiments.scenarios import (
+    SMOKE,
+    clear_trained_cache,
+    pick_deadline,
+    trained_job,
+)
+from repro.simkit.random import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return trained_job("A", seed=0, scale=SMOKE)
+
+
+class TestTrainingPipeline:
+    def test_training_trace_complete(self, trained):
+        assert trained.training_trace.finished
+        assert (
+            len(trained.training_trace.successful_records())
+            == trained.graph.num_vertices
+        )
+
+    def test_learned_profile_covers_stages(self, trained):
+        for stage in trained.graph.stages:
+            assert trained.learned_profile.stage(stage.name) is not None
+
+    def test_table_spans_scale_allocations(self, trained):
+        assert trained.table.allocations == sorted(SMOKE.allocations)
+
+    def test_deadline_feasible(self, trained):
+        fastest = trained.table.predicted_duration(
+            max(trained.table.allocations), q=0.9
+        )
+        assert trained.short_deadline >= 1.5 * fastest
+        assert trained.long_deadline == 2 * trained.short_deadline
+
+    def test_cache_returns_same_object(self):
+        a = trained_job("A", seed=0, scale=SMOKE)
+        b = trained_job("A", seed=0, scale=SMOKE)
+        assert a is b
+
+    def test_indicator_tables_cached(self, trained):
+        t1 = trained.table_for_indicator("cp")
+        t2 = trained.table_for_indicator("cp")
+        assert t1 is t2
+
+    def test_all_indicators_constructible(self, trained):
+        for kind in ("totalworkWithQ", "totalwork", "vertexfrac", "cp",
+                     "minstage", "minstage-inf"):
+            indicator = trained.indicator_named(kind)
+            fractions = {s: 0.0 for s in trained.learned_profile.stage_names}
+            assert indicator.progress(fractions) == pytest.approx(0.0, abs=0.05)
+
+
+class TestRunExperiment:
+    @pytest.mark.parametrize("kind", POLICY_KINDS)
+    def test_each_policy_completes(self, trained, kind):
+        policy = make_policy(kind, trained, trained.long_deadline)
+        result = run_experiment(
+            trained, policy,
+            RunConfig(deadline_seconds=trained.long_deadline, seed=3),
+        )
+        assert result.metrics.duration_seconds > 0
+        assert result.allocation_series
+        assert result.metrics.policy == kind
+
+    def test_same_seed_reproduces_exactly(self, trained):
+        outcomes = []
+        for _ in range(2):
+            policy = make_policy("jockey", trained, trained.long_deadline)
+            result = run_experiment(
+                trained, policy,
+                RunConfig(deadline_seconds=trained.long_deadline, seed=11),
+            )
+            outcomes.append(result.metrics.duration_seconds)
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seeds_differ(self, trained):
+        durations = set()
+        for seed in (1, 2, 3):
+            policy = make_policy("jockey", trained, trained.long_deadline)
+            result = run_experiment(
+                trained, policy,
+                RunConfig(deadline_seconds=trained.long_deadline, seed=seed),
+            )
+            durations.add(result.metrics.duration_seconds)
+        assert len(durations) == 3
+
+    def test_deadline_change_applies(self, trained):
+        policy = make_policy("jockey", trained, trained.long_deadline)
+        result = run_experiment(
+            trained, policy,
+            RunConfig(
+                deadline_seconds=trained.long_deadline,
+                seed=5,
+                deadline_changes=((60.0, trained.long_deadline * 3),),
+            ),
+        )
+        assert result.final_deadline == trained.long_deadline * 3
+        assert result.trace.deadline == trained.long_deadline * 3
+
+    def test_runtime_scale_override(self, trained):
+        results = {}
+        for scale_factor in (0.8, 1.6):
+            policy = make_policy("max-allocation", trained, trained.long_deadline)
+            results[scale_factor] = run_experiment(
+                trained, policy,
+                RunConfig(
+                    deadline_seconds=trained.long_deadline, seed=9,
+                    runtime_scale=scale_factor, sample_cluster_day=False,
+                ),
+            ).metrics.duration_seconds
+        assert results[1.6] > results[0.8]
+
+    def test_unknown_policy_kind(self, trained):
+        with pytest.raises(ValueError):
+            make_policy("nonsense", trained, 100.0)
+
+
+class TestRunSuite:
+    def test_cross_product_size(self, trained):
+        results = run_suite(
+            [trained], ("jockey", "max-allocation"), reps=2,
+            deadline_of=lambda t: (t.short_deadline,),
+        )
+        assert len(results) == 4
+
+    def test_metrics_carry_policy_names(self, trained):
+        results = run_suite(
+            [trained], ("max-allocation",), reps=1,
+        )
+        assert results[0].metrics.policy == "max-allocation"
+
+
+class TestRuntimeScaleSampler:
+    def test_within_clip(self):
+        rng = RngRegistry(0).stream("x")
+        samples = [sample_runtime_scale(rng) for _ in range(500)]
+        assert all(0.7 <= s <= 1.7 for s in samples)
+        assert min(samples) < 1.0 < max(samples)
+
+
+class TestAdmissionIntegration:
+    def test_admission_with_real_table(self, trained):
+        controller = AdmissionController(100, slack=1.2, q=0.9)
+        decision = controller.admit(
+            SloRequest("job1", trained.table, trained.short_deadline)
+        )
+        assert decision.admitted
+        # Fill the slice with copies until rejection.
+        admitted = 1
+        while admitted < 50:
+            decision = controller.admit(
+                SloRequest(f"job{admitted + 1}", trained.table,
+                           trained.short_deadline)
+            )
+            if not decision.admitted:
+                break
+            admitted += 1
+        assert admitted < 50, "slice should saturate eventually"

@@ -1,0 +1,323 @@
+"""Unit and property tests for job graphs and dependency tracking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jobs.dag import (
+    DependencyTracker,
+    Edge,
+    EdgeType,
+    GraphError,
+    JobGraph,
+    Stage,
+    one_to_one_range,
+)
+
+
+def chain_graph():
+    """extract(4) -> process(4) -> aggregate(2), pointwise then shuffle."""
+    return JobGraph(
+        "chain",
+        [Stage("extract", 4), Stage("process", 4), Stage("aggregate", 2)],
+        [
+            Edge("extract", "process", EdgeType.ONE_TO_ONE),
+            Edge("process", "aggregate", EdgeType.ALL_TO_ALL),
+        ],
+    )
+
+
+def diamond_graph():
+    return JobGraph(
+        "diamond",
+        [Stage("src", 2), Stage("left", 2), Stage("right", 2), Stage("join", 2)],
+        [
+            Edge("src", "left", EdgeType.ONE_TO_ONE),
+            Edge("src", "right", EdgeType.ONE_TO_ONE),
+            Edge("left", "join", EdgeType.ONE_TO_ONE),
+            Edge("right", "join", EdgeType.ONE_TO_ONE),
+        ],
+    )
+
+
+class TestStageAndEdgeValidation:
+    def test_stage_needs_tasks(self):
+        with pytest.raises(GraphError):
+            Stage("s", 0)
+
+    def test_stage_needs_name(self):
+        with pytest.raises(GraphError):
+            Stage("", 1)
+
+    def test_graph_needs_stages(self):
+        with pytest.raises(GraphError):
+            JobGraph("g", [], [])
+
+    def test_graph_needs_name(self):
+        with pytest.raises(GraphError):
+            JobGraph("", [Stage("s", 1)], [])
+
+    def test_duplicate_stage_rejected(self):
+        with pytest.raises(GraphError):
+            JobGraph("g", [Stage("s", 1), Stage("s", 2)], [])
+
+    def test_unknown_edge_endpoint(self):
+        with pytest.raises(GraphError):
+            JobGraph("g", [Stage("a", 1)], [Edge("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            JobGraph("g", [Stage("a", 1)], [Edge("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError):
+            JobGraph(
+                "g",
+                [Stage("a", 1), Stage("b", 1)],
+                [Edge("a", "b"), Edge("a", "b", EdgeType.ALL_TO_ALL)],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            JobGraph(
+                "g",
+                [Stage("a", 1), Stage("b", 1)],
+                [Edge("a", "b"), Edge("b", "a")],
+            )
+
+
+class TestGraphStructure:
+    def test_topological_order_respects_edges(self):
+        graph = diamond_graph()
+        order = graph.topological_order()
+        assert order.index("src") < order.index("left") < order.index("join")
+        assert order.index("src") < order.index("right") < order.index("join")
+
+    def test_roots_and_leaves(self):
+        graph = chain_graph()
+        assert graph.roots() == ("extract",)
+        assert graph.leaves() == ("aggregate",)
+
+    def test_parents_children(self):
+        graph = diamond_graph()
+        assert set(graph.children("src")) == {"left", "right"}
+        assert set(graph.parents("join")) == {"left", "right"}
+
+    def test_num_vertices(self):
+        assert chain_graph().num_vertices == 10
+
+    def test_barrier_stages(self):
+        graph = chain_graph()
+        assert graph.barrier_stages() == ("aggregate",)
+        assert graph.num_barrier_stages == 1
+
+    def test_contains(self):
+        graph = chain_graph()
+        assert "extract" in graph
+        assert "nope" not in graph
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(GraphError):
+            chain_graph().stage("nope")
+
+    def test_render_ascii_mentions_barriers(self):
+        text = chain_graph().render_ascii()
+        assert "aggregate" in text
+        assert "▲" in text  # the shuffle marker
+
+
+class TestCriticalPath:
+    def test_chain_sums(self):
+        graph = chain_graph()
+        times = {"extract": 1.0, "process": 2.0, "aggregate": 4.0}
+        assert graph.critical_path(times) == 7.0
+
+    def test_diamond_takes_longest_branch(self):
+        graph = diamond_graph()
+        times = {"src": 1.0, "left": 10.0, "right": 2.0, "join": 1.0}
+        assert graph.critical_path(times) == 12.0
+
+    def test_longest_path_from_is_inclusive(self):
+        graph = chain_graph()
+        times = {"extract": 1.0, "process": 2.0, "aggregate": 4.0}
+        paths = graph.longest_path_from(times)
+        assert paths["aggregate"] == 4.0
+        assert paths["process"] == 6.0
+        assert paths["extract"] == 7.0
+
+    def test_missing_stage_time_counts_zero(self):
+        graph = chain_graph()
+        assert graph.critical_path({}) == 0.0
+
+
+class TestOneToOneRange:
+    def test_equal_counts_identity(self):
+        for i in range(5):
+            assert one_to_one_range(i, 5, 5) == (i, i)
+
+    def test_fan_in(self):
+        # 4 upstream feeding 2 downstream: each downstream reads two.
+        assert one_to_one_range(0, 2, 4) == (0, 1)
+        assert one_to_one_range(1, 2, 4) == (2, 3)
+
+    def test_fan_out(self):
+        # 2 upstream feeding 4 downstream: pairs share an input.
+        assert [one_to_one_range(i, 4, 2) for i in range(4)] == [
+            (0, 0), (0, 0), (1, 1), (1, 1),
+        ]
+
+    def test_uneven_overlap(self):
+        # 3 -> 2: middle upstream task feeds both downstream tasks.
+        assert one_to_one_range(0, 2, 3) == (0, 1)
+        assert one_to_one_range(1, 2, 3) == (1, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(GraphError):
+            one_to_one_range(2, 2, 4)
+
+    @given(
+        n_src=st.integers(1, 40),
+        n_dst=st.integers(1, 40),
+    )
+    @settings(max_examples=200)
+    def test_forward_reverse_consistency(self, n_src, n_dst):
+        """Downstream i depends on upstream j  iff  the reverse mapping from
+        j covers i — the invariant DependencyTracker.complete relies on."""
+        forward = {
+            i: set(range(*_incl(one_to_one_range(i, n_dst, n_src))))
+            for i in range(n_dst)
+        }
+        reverse = {
+            j: set(range(*_incl(one_to_one_range(j, n_src, n_dst))))
+            for j in range(n_src)
+        }
+        for i in range(n_dst):
+            for j in range(n_src):
+                assert (j in forward[i]) == (i in reverse[j])
+
+    @given(n_src=st.integers(1, 40), n_dst=st.integers(1, 40))
+    @settings(max_examples=200)
+    def test_every_task_covered(self, n_src, n_dst):
+        """Every downstream task has >= 1 input; every upstream task feeds
+        >= 1 downstream task."""
+        for i in range(n_dst):
+            lo, hi = one_to_one_range(i, n_dst, n_src)
+            assert 0 <= lo <= hi < n_src
+        fed = set()
+        for i in range(n_dst):
+            lo, hi = one_to_one_range(i, n_dst, n_src)
+            fed.update(range(lo, hi + 1))
+        assert fed == set(range(n_src))
+
+
+def _incl(pair):
+    lo, hi = pair
+    return lo, hi + 1
+
+
+def drain(tracker):
+    """Run the whole graph through the tracker in FIFO order; returns the
+    completion order."""
+    ready = list(tracker.initially_ready())
+    done = []
+    while ready:
+        task = ready.pop(0)
+        done.append(task)
+        ready.extend(tracker.complete(*task))
+    return done
+
+
+class TestDependencyTracker:
+    def test_initially_ready_is_roots_only(self):
+        tracker = DependencyTracker(chain_graph())
+        assert set(tracker.initially_ready()) == {("extract", i) for i in range(4)}
+
+    def test_pointwise_release(self):
+        tracker = DependencyTracker(chain_graph())
+        tracker.initially_ready()
+        newly = tracker.complete("extract", 2)
+        assert newly == [("process", 2)]
+
+    def test_barrier_waits_for_whole_stage(self):
+        tracker = DependencyTracker(chain_graph())
+        tracker.initially_ready()
+        released = []
+        for i in range(4):
+            released += tracker.complete("extract", i)
+        # process tasks released pointwise; aggregate not yet.
+        assert all(stage == "process" for stage, _ in released)
+        for i in range(3):
+            assert tracker.complete("process", i) == []
+        final = tracker.complete("process", 3)
+        assert set(final) == {("aggregate", 0), ("aggregate", 1)}
+
+    def test_all_complete_after_drain(self):
+        tracker = DependencyTracker(chain_graph())
+        done = drain(tracker)
+        assert tracker.all_complete()
+        assert len(done) == chain_graph().num_vertices
+
+    def test_diamond_join_needs_both_branches(self):
+        tracker = DependencyTracker(diamond_graph())
+        tracker.initially_ready()
+        tracker.complete("src", 0)
+        tracker.complete("src", 1)
+        assert tracker.complete("left", 0) == []  # join[0] still needs right[0]
+        assert tracker.complete("right", 0) == [("join", 0)]
+
+    def test_completed_in_stage_counts(self):
+        tracker = DependencyTracker(chain_graph())
+        tracker.initially_ready()
+        tracker.complete("extract", 0)
+        assert tracker.completed_in_stage("extract") == 1
+        assert not tracker.is_stage_complete("extract")
+
+    def test_reset_restores_initial_state(self):
+        tracker = DependencyTracker(chain_graph())
+        drain(tracker)
+        tracker.reset()
+        assert not tracker.all_complete()
+        assert set(tracker.initially_ready()) == {("extract", i) for i in range(4)}
+
+    def test_overcompletion_rejected(self):
+        tracker = DependencyTracker(chain_graph())
+        tracker.initially_ready()
+        tracker.complete("extract", 0)
+        for i in range(1, 4):
+            tracker.complete("extract", i)
+        with pytest.raises(GraphError):
+            tracker.complete("extract", 0)
+
+    def test_bad_index_rejected(self):
+        tracker = DependencyTracker(chain_graph())
+        with pytest.raises(GraphError):
+            tracker.complete("extract", 99)
+
+    def test_multi_barrier_stage(self):
+        graph = JobGraph(
+            "two-barriers",
+            [Stage("a", 2), Stage("b", 2), Stage("c", 1)],
+            [
+                Edge("a", "c", EdgeType.ALL_TO_ALL),
+                Edge("b", "c", EdgeType.ALL_TO_ALL),
+            ],
+        )
+        tracker = DependencyTracker(graph)
+        tracker.initially_ready()
+        tracker.complete("a", 0)
+        tracker.complete("a", 1)  # first barrier satisfied
+        tracker.complete("b", 0)
+        assert tracker.complete("b", 1) == [("c", 0)]
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_jobs_always_drain(self, seed):
+        """Property: every generated workload DAG is fully executable —
+        no task is ever orphaned by the readiness logic."""
+        from repro.jobs.workloads import random_job
+
+        generated = random_job(f"p{seed}", seed=seed, num_vertices=80)
+        tracker = DependencyTracker(generated.graph)
+        done = drain(tracker)
+        assert tracker.all_complete()
+        assert len(done) == generated.graph.num_vertices

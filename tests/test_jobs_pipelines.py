@@ -1,0 +1,97 @@
+"""Unit tests for the inter-job pipeline trace generator (Fig. 1)."""
+
+import pytest
+
+from repro.jobs.pipelines import PipelineJob, PipelineTrace, generate_pipeline_trace
+
+
+def hand_trace():
+    """feed(0) -> a(1) -> b(2); feed(0) -> c(3) in another group."""
+    trace = PipelineTrace()
+    trace.jobs = [
+        PipelineJob(0, "g0", start_time=0.0, end_time=600.0),
+        PipelineJob(1, "g0", start_time=1200.0, end_time=1800.0, inputs=(0,)),
+        PipelineJob(2, "g0", start_time=2400.0, end_time=3000.0, inputs=(1,)),
+        PipelineJob(3, "g1", start_time=900.0, end_time=1500.0, inputs=(0,)),
+    ]
+    return trace
+
+
+class TestStats:
+    def test_dependents(self):
+        deps = hand_trace().dependents()
+        assert deps[0] == [1, 3]
+        assert deps[1] == [2]
+        assert deps[2] == []
+
+    def test_gaps_minutes(self):
+        gaps = sorted(hand_trace().dependency_gaps_minutes())
+        # edges: 0->1 gap 600s, 0->3 gap 300s, 1->2 gap 600s.
+        assert gaps == [5.0, 10.0, 10.0]
+
+    def test_indirect_dependents(self):
+        indirect = hand_trace().indirect_dependents()
+        assert indirect[0] == 3
+        assert indirect[1] == 1
+        assert 2 not in indirect  # no dependents -> excluded
+
+    def test_dependent_groups(self):
+        groups = hand_trace().dependent_groups()
+        assert groups[0] == 2  # g0 and g1 downstream
+        assert groups[1] == 1
+
+    def test_chain_lengths(self):
+        assert hand_trace().chain_lengths() == [3]
+
+    def test_job_validation(self):
+        with pytest.raises(ValueError):
+            PipelineJob(0, "g", start_time=10.0, end_time=5.0)
+
+
+class TestGenerator:
+    def test_exact_job_count(self):
+        trace = generate_pipeline_trace(seed=0, num_jobs=500)
+        assert len(trace) == 500
+
+    def test_deterministic(self):
+        a = generate_pipeline_trace(seed=4, num_jobs=300)
+        b = generate_pipeline_trace(seed=4, num_jobs=300)
+        assert [j.start_time for j in a.jobs] == [j.start_time for j in b.jobs]
+
+    def test_inputs_always_earlier_jobs(self):
+        trace = generate_pipeline_trace(seed=1, num_jobs=400)
+        for job in trace.jobs:
+            for parent in job.inputs:
+                assert parent < job.job_id
+
+    def test_consumers_start_after_inputs_finish(self):
+        trace = generate_pipeline_trace(seed=1, num_jobs=400)
+        by_id = {j.job_id: j for j in trace.jobs}
+        for job in trace.jobs:
+            for parent in job.inputs:
+                assert job.start_time >= by_id[parent].end_time
+
+    def test_gap_median_near_target(self):
+        trace = generate_pipeline_trace(seed=2, num_jobs=2000, gap_median_minutes=10.0)
+        gaps = sorted(trace.dependency_gaps_minutes())
+        median = gaps[len(gaps) // 2]
+        assert 5.0 <= median <= 20.0
+
+    def test_heavy_tailed_fanout(self):
+        """Fig. 1 shape: some jobs accumulate far more dependents than the
+        median job."""
+        trace = generate_pipeline_trace(seed=3, num_jobs=2000)
+        indirect = sorted(trace.indirect_dependents().values())
+        median = indirect[len(indirect) // 2]
+        assert max(indirect) > 10 * max(median, 1)
+
+    def test_cross_group_chains_exist(self):
+        trace = generate_pipeline_trace(seed=5, num_jobs=1500)
+        groups = trace.dependent_groups()
+        assert max(groups.values()) >= 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_pipeline_trace(num_jobs=1)
+        with pytest.raises(ValueError):
+            generate_pipeline_trace(feed_fraction=0.0)

@@ -1,0 +1,151 @@
+"""Unit tests for run traces."""
+
+import pytest
+
+from repro.jobs.trace import (
+    OUTCOME_EVICTED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    RunTrace,
+    TaskRecord,
+    TraceError,
+)
+
+
+def record(stage="s", index=0, attempt=0, ready=0.0, start=1.0, end=3.0,
+           outcome=OUTCOME_OK, spare=False):
+    return TaskRecord(
+        stage=stage, index=index, attempt=attempt,
+        ready_time=ready, start_time=start, end_time=end,
+        outcome=outcome, used_spare_token=spare,
+    )
+
+
+class TestTaskRecord:
+    def test_queue_and_run_time(self):
+        r = record(ready=1.0, start=4.0, end=9.0)
+        assert r.queue_time == 3.0
+        assert r.run_time == 5.0
+
+    def test_succeeded_flag(self):
+        assert record().succeeded
+        assert not record(outcome=OUTCOME_FAILED).succeeded
+
+    def test_monotonic_times_enforced(self):
+        with pytest.raises(TraceError):
+            record(ready=5.0, start=1.0)
+        with pytest.raises(TraceError):
+            record(start=5.0, end=1.0)
+
+    def test_unknown_outcome(self):
+        with pytest.raises(TraceError):
+            record(outcome="exploded")
+
+    def test_negative_attempt(self):
+        with pytest.raises(TraceError):
+            record(attempt=-1)
+
+
+def finished_trace():
+    trace = RunTrace(job_name="j", start_time=0.0, deadline=100.0)
+    trace.add(record("map", 0, ready=0.0, start=0.0, end=10.0))
+    trace.add(record("map", 1, ready=0.0, start=2.0, end=8.0, spare=True))
+    trace.add(record("map", 2, attempt=0, ready=0.0, start=0.0, end=4.0,
+                     outcome=OUTCOME_FAILED))
+    trace.add(record("map", 2, attempt=1, ready=4.0, start=5.0, end=12.0))
+    trace.add(record("reduce", 0, ready=12.0, start=14.0, end=30.0))
+    trace.end_time = 30.0
+    return trace
+
+
+class TestRunTrace:
+    def test_duration(self):
+        assert finished_trace().duration == 30.0
+
+    def test_duration_requires_finish(self):
+        with pytest.raises(TraceError):
+            RunTrace(job_name="j").duration
+
+    def test_met_deadline(self):
+        assert finished_trace().met_deadline()
+
+    def test_met_deadline_requires_deadline(self):
+        trace = RunTrace(job_name="j")
+        trace.end_time = 1.0
+        with pytest.raises(TraceError):
+            trace.met_deadline()
+
+    def test_total_cpu_counts_successes_only(self):
+        # 10 + 6 + 7 + 16 (successful); failed attempt (4s) excluded.
+        assert finished_trace().total_cpu_seconds() == 39.0
+
+    def test_wasted_cpu(self):
+        assert finished_trace().wasted_cpu_seconds() == 4.0
+
+    def test_stage_runtimes(self):
+        runtimes = finished_trace().stage_runtimes()
+        assert sorted(runtimes["map"]) == [6.0, 7.0, 10.0]
+        assert runtimes["reduce"] == [16.0]
+
+    def test_stage_queue_times(self):
+        queues = finished_trace().stage_queue_times()
+        assert queues["reduce"] == [2.0]
+
+    def test_stage_attempt_counts(self):
+        counts = finished_trace().stage_attempt_counts()
+        assert counts["map"] == (4, 1)
+        assert counts["reduce"] == (1, 0)
+
+    def test_spare_fraction(self):
+        assert finished_trace().spare_fraction() == pytest.approx(0.25)
+
+    def test_stage_relative_spans(self):
+        spans = finished_trace().stage_relative_spans()
+        assert spans["reduce"] == pytest.approx((14 / 30, 1.0))
+        assert spans["map"][0] == 0.0
+
+    def test_successful_records(self):
+        assert len(finished_trace().successful_records()) == 4
+
+
+class TestAllocationTimelines:
+    def test_mark_allocation_deduplicates(self):
+        trace = RunTrace(job_name="j")
+        trace.mark_allocation(0.0, 10)
+        trace.mark_allocation(5.0, 10)
+        trace.mark_allocation(9.0, 20)
+        assert trace.allocation_timeline == [(0.0, 10), (9.0, 20)]
+
+    def test_allocation_seconds_integral(self):
+        trace = RunTrace(job_name="j", start_time=0.0)
+        trace.mark_allocation(0.0, 10)
+        trace.mark_allocation(10.0, 20)
+        trace.end_time = 30.0
+        # 10 tokens x 10s + 20 tokens x 20s
+        assert trace.allocation_seconds() == 500.0
+
+    def test_allocation_seconds_empty(self):
+        trace = RunTrace(job_name="j")
+        trace.end_time = 10.0
+        assert trace.allocation_seconds() == 0.0
+
+    def test_allocation_excess_above_threshold(self):
+        trace = RunTrace(job_name="j", start_time=0.0)
+        trace.mark_allocation(0.0, 10)
+        trace.mark_allocation(10.0, 30)
+        trace.end_time = 20.0
+        # threshold 15: first segment contributes 0, second (30-15)*10s.
+        assert trace.allocation_excess_seconds(15) == 150.0
+
+    def test_allocation_requires_finish(self):
+        trace = RunTrace(job_name="j")
+        trace.mark_allocation(0.0, 10)
+        with pytest.raises(TraceError):
+            trace.allocation_seconds()
+
+    def test_mark_running_deduplicates(self):
+        trace = RunTrace(job_name="j")
+        trace.mark_running(0.0, 3)
+        trace.mark_running(1.0, 3)
+        trace.mark_running(2.0, 4)
+        assert trace.running_timeline == [(0.0, 3), (2.0, 4)]

@@ -1,0 +1,284 @@
+"""Unit and integration tests for the job manager on the cluster substrate."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Consumer
+from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
+from repro.jobs.profiles import JobProfile, StageProfile
+from repro.runtime.jobmanager import JobManager, JobManagerError, run_to_completion
+from repro.simkit.distributions import Constant
+from repro.simkit.events import Simulator
+from repro.simkit.random import RngRegistry
+
+
+def quiet_cluster(sim, *, machines=10, slots=4, seed=0):
+    """A cluster with no background load, no soaker, no failures —
+    deterministic grants equal to the job's guarantee."""
+    config = ClusterConfig(
+        num_machines=machines,
+        slots_per_machine=slots,
+        background_guaranteed=0,
+        spare_soaker_weight=0.0,
+        machine_mtbf_seconds=None,
+        contention_coeff=0.0,
+    )
+    return Cluster(sim, config, rng=RngRegistry(seed))
+
+
+def two_stage_job(num_maps=6, num_reduces=2, map_time=10.0, reduce_time=5.0,
+                  failure_prob=0.0):
+    graph = JobGraph(
+        "tiny",
+        [Stage("map", num_maps), Stage("reduce", num_reduces)],
+        [Edge("map", "reduce", EdgeType.ALL_TO_ALL)],
+    )
+    profile = JobProfile(
+        graph,
+        {
+            "map": StageProfile("map", runtime=Constant(map_time),
+                                failure_prob=failure_prob),
+            "reduce": StageProfile("reduce", runtime=Constant(reduce_time)),
+        },
+    )
+    return graph, profile
+
+
+class TestBasicExecution:
+    def test_runs_to_completion(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=10)
+        trace = run_to_completion(manager)
+        assert manager.finished
+        assert trace.finished
+        ok = trace.successful_records()
+        assert len(ok) == graph.num_vertices
+
+    def test_duration_with_full_parallelism(self):
+        """6 maps at 10s in parallel, then 2 reduces at 5s: 15s total."""
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=10)
+        trace = run_to_completion(manager)
+        assert trace.duration == pytest.approx(15.0)
+
+    def test_duration_serialized_by_capacity(self):
+        """With a 1-slot cluster the job is fully serial: 6x10 + 2x5 = 70s.
+        (Work conservation means a 1-token *guarantee* on an idle cluster
+        would still run wide on spare tokens.)"""
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=1, slots=1)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=1)
+        trace = run_to_completion(manager)
+        assert trace.duration == pytest.approx(70.0)
+
+    def test_work_conservation_uses_spare(self):
+        """A 1-token guarantee on an otherwise idle cluster still runs at
+        full parallelism via spare tokens (§2.1)."""
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=1)
+        trace = run_to_completion(manager)
+        assert trace.duration == pytest.approx(15.0)
+        assert trace.spare_fraction() > 0.5
+
+    def test_barrier_semantics(self):
+        """No reduce may start before every map ends."""
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=3)
+        trace = run_to_completion(manager)
+        last_map_end = max(
+            r.end_time for r in trace.records if r.stage == "map"
+        )
+        first_reduce_start = min(
+            r.start_time for r in trace.records if r.stage == "reduce"
+        )
+        assert first_reduce_start >= last_map_end
+
+    def test_each_task_completes_exactly_once(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=4)
+        trace = run_to_completion(manager)
+        ok = [(r.stage, r.index) for r in trace.successful_records()]
+        assert len(ok) == len(set(ok)) == graph.num_vertices
+
+    def test_cpu_seconds_match_task_times(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=10)
+        trace = run_to_completion(manager)
+        assert trace.total_cpu_seconds() == pytest.approx(6 * 10 + 2 * 5)
+
+    def test_completion_callback(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        done = []
+        manager = JobManager(
+            cluster, graph, profile, initial_allocation=10,
+            on_complete=lambda m: done.append(m.graph.name),
+        )
+        run_to_completion(manager)
+        assert done == ["tiny"]
+
+    def test_guarantee_released_after_completion(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=10)
+        run_to_completion(manager)
+        assert cluster.pool.consumer(manager.name).guaranteed == 0
+
+
+class TestAllocationControl:
+    def test_set_allocation_recorded_in_trace(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=2)
+        sim.schedule(5.0, lambda: manager.set_allocation(6))
+        trace = run_to_completion(manager)
+        allocs = [a for _t, a in trace.allocation_timeline]
+        assert allocs[0] == 2
+        assert 6 in allocs
+
+    def test_set_allocation_clamped_by_headroom(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=5, slots=2)  # capacity 10
+        cluster.pool.register(Consumer("other", 6))
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=2)
+        assert manager.set_allocation(100) == 4
+
+    def test_negative_allocation_rejected(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile)
+        with pytest.raises(JobManagerError):
+            manager.set_allocation(-1)
+
+    def test_raising_allocation_speeds_job(self):
+        """When other pending work soaks the spare tokens, the guarantee is
+        the job's real throughput knob."""
+        durations = {}
+        for alloc in (1, 8):
+            sim = Simulator()
+            cluster = quiet_cluster(sim)
+            soak = cluster.pool.register(Consumer("soak", 0, weight=10_000.0))
+            cluster.pool.set_demand("soak", 1000)
+            graph, profile = two_stage_job()
+            manager = JobManager(cluster, graph, profile, initial_allocation=alloc)
+            durations[alloc] = run_to_completion(manager).duration
+        assert durations[8] < durations[1]
+
+
+class TestEviction:
+    def test_grant_cut_evicts_and_requeues(self):
+        """A competitor claiming guaranteed capacity mid-run evicts the
+        job's spare-token tasks; the job still completes correctly."""
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=5, slots=2)  # capacity 10
+        competitor = cluster.pool.register(Consumer("competitor", 6))
+        graph, profile = two_stage_job(num_maps=8, map_time=30.0)
+        manager = JobManager(cluster, graph, profile, initial_allocation=4)
+        # Job demand 8 > guarantee 4: it runs 8 tasks using competitor's
+        # idle guarantee.  At t=10 the competitor wants its capacity back.
+        sim.schedule(10.0, lambda: cluster.pool.set_demand("competitor", 6))
+        trace = run_to_completion(manager)
+        evicted = [r for r in trace.records if r.outcome == "evicted"]
+        assert len(evicted) == 4
+        assert all(r.used_spare_token for r in evicted)
+        assert len(trace.successful_records()) == graph.num_vertices
+
+    def test_eviction_loses_work(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=5, slots=2)
+        cluster.pool.register(Consumer("competitor", 6))
+        graph, profile = two_stage_job(num_maps=8, map_time=30.0)
+        manager = JobManager(cluster, graph, profile, initial_allocation=4)
+        sim.schedule(10.0, lambda: cluster.pool.set_demand("competitor", 6))
+        trace = run_to_completion(manager)
+        assert trace.wasted_cpu_seconds() > 0
+
+    def test_spare_flag_tracks_guaranteed_part(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=5, slots=2)
+        cluster.pool.register(Consumer("idle", 6))  # idle guarantee -> spare
+        graph, profile = two_stage_job(num_maps=8, map_time=30.0)
+        manager = JobManager(cluster, graph, profile, initial_allocation=4)
+        sim.run(until=5.0)
+        spare_now = sum(1 for t in manager._running if t.used_spare_token)
+        assert manager.tasks_running == 8
+        assert spare_now == 4
+
+
+class TestFailures:
+    def test_task_failures_retried(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job(failure_prob=0.3)
+        manager = JobManager(
+            cluster, graph, profile, initial_allocation=10,
+            rng=RngRegistry(7).stream("t"),
+        )
+        trace = run_to_completion(manager)
+        failed = [r for r in trace.records if r.outcome == "failed"]
+        assert failed, "expected at least one failure at p=0.3"
+        assert len(trace.successful_records()) == graph.num_vertices
+
+    def test_machine_failure_kills_and_retries_tasks(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim, machines=2, slots=10)
+        graph, profile = two_stage_job(num_maps=10, map_time=50.0)
+        manager = JobManager(cluster, graph, profile, initial_allocation=10)
+        sim.run(until=5.0)
+        victims = [t for t in manager._running if t.machine == 0]
+        cluster.failures.fail_now(0, repair_seconds=10.0)
+        trace = run_to_completion(manager)
+        failed = [r for r in trace.records if r.outcome == "failed"]
+        assert len(failed) == len(victims)
+        assert len(trace.successful_records()) == graph.num_vertices
+
+
+class TestSnapshot:
+    def test_fractions_progress_over_time(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=10)
+        snap0 = manager.snapshot()
+        assert snap0.stage_fractions == {"map": 0.0, "reduce": 0.0}
+        sim.run(until=12.0)
+        snap1 = manager.snapshot()
+        assert snap1.stage_fractions["map"] == 1.0
+        assert snap1.stage_fractions["reduce"] == 0.0
+        assert snap1.elapsed == 12.0
+
+    def test_snapshot_reports_allocation(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=3)
+        assert manager.snapshot().allocation == 3
+
+
+class TestRunToCompletion:
+    def test_stalled_job_raises(self):
+        sim = Simulator()
+        cluster = quiet_cluster(sim)
+        hog = cluster.pool.register(Consumer("hog", cluster.pool.capacity))
+        cluster.pool.set_demand("hog", cluster.pool.capacity)
+        graph, profile = two_stage_job()
+        manager = JobManager(cluster, graph, profile, initial_allocation=0)
+        with pytest.raises(JobManagerError, match="did not finish"):
+            run_to_completion(manager, max_seconds=100.0)

@@ -1,0 +1,209 @@
+"""Unit and property tests for the latency distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkit.distributions import (
+    Constant,
+    DistributionError,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Scaled,
+    Truncated,
+    Uniform,
+    WithOutliers,
+    scale,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestConstant:
+    def test_sample(self, rng):
+        assert Constant(4.0).sample(rng) == 4.0
+
+    def test_mean_and_quantile(self):
+        dist = Constant(4.0)
+        assert dist.mean() == 4.0
+        assert dist.quantile(0.1) == 4.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Constant(-1.0)
+
+
+class TestUniform:
+    def test_samples_within_bounds(self, rng):
+        dist = Uniform(2.0, 5.0)
+        for _ in range(200):
+            assert 2.0 <= dist.sample(rng) <= 5.0
+
+    def test_mean(self):
+        assert Uniform(2.0, 6.0).mean() == 4.0
+
+    def test_quantile(self):
+        assert Uniform(0.0, 10.0).quantile(0.3) == 3.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(DistributionError):
+            Uniform(5.0, 2.0)
+        with pytest.raises(DistributionError):
+            Uniform(-1.0, 2.0)
+
+
+class TestExponential:
+    def test_mean_matches(self, rng):
+        dist = Exponential(10.0)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_quantile_median(self):
+        assert Exponential(10.0).quantile(0.5) == pytest.approx(10.0 * math.log(2))
+
+    def test_invalid(self):
+        with pytest.raises(DistributionError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_fit_reproduces_quantiles(self):
+        dist = LogNormal.from_median_p90(10.0, 30.0)
+        assert dist.quantile(0.5) == pytest.approx(10.0, rel=1e-6)
+        assert dist.quantile(0.9) == pytest.approx(30.0, rel=1e-4)
+
+    def test_fit_degenerate_when_p90_equals_median(self):
+        dist = LogNormal.from_median_p90(10.0, 10.0)
+        assert dist.sigma == 0.0
+
+    def test_fit_rejects_bad_quantiles(self):
+        with pytest.raises(DistributionError):
+            LogNormal.from_median_p90(10.0, 5.0)
+        with pytest.raises(DistributionError):
+            LogNormal.from_median_p90(0.0, 5.0)
+
+    def test_sample_statistics(self, rng):
+        dist = LogNormal.from_median_p90(10.0, 30.0)
+        samples = [dist.sample(rng) for _ in range(20000)]
+        assert np.median(samples) == pytest.approx(10.0, rel=0.05)
+        assert np.percentile(samples, 90) == pytest.approx(30.0, rel=0.08)
+
+    def test_mean_formula(self):
+        dist = LogNormal(mu=1.0, sigma=0.5)
+        assert dist.mean() == pytest.approx(math.exp(1.0 + 0.125))
+
+    @given(
+        median=st.floats(0.1, 1000),
+        ratio=st.floats(1.01, 50),
+        q=st.floats(0.01, 0.99),
+    )
+    @settings(max_examples=100)
+    def test_quantile_monotone_property(self, median, ratio, q):
+        dist = LogNormal.from_median_p90(median, median * ratio)
+        assert dist.quantile(q) <= dist.quantile(min(q + 0.005, 0.995)) + 1e-9
+
+
+class TestWithOutliers:
+    def test_no_outliers_passthrough(self, rng):
+        dist = WithOutliers(Constant(5.0), outlier_prob=0.0, outlier_factor=4.0)
+        assert dist.sample(rng) == 5.0
+
+    def test_outlier_rate(self, rng):
+        dist = WithOutliers(Constant(1.0), outlier_prob=0.25, outlier_factor=4.0)
+        samples = [dist.sample(rng) for _ in range(4000)]
+        rate = sum(1 for s in samples if s == 4.0) / len(samples)
+        assert rate == pytest.approx(0.25, abs=0.03)
+
+    def test_mean_accounts_for_outliers(self):
+        dist = WithOutliers(Constant(1.0), outlier_prob=0.5, outlier_factor=3.0)
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(DistributionError):
+            WithOutliers(Constant(1.0), outlier_prob=1.5, outlier_factor=2.0)
+        with pytest.raises(DistributionError):
+            WithOutliers(Constant(1.0), outlier_prob=0.1, outlier_factor=0.5)
+
+
+class TestTruncated:
+    def test_samples_capped(self, rng):
+        dist = Truncated(LogNormal.from_median_p90(10.0, 30.0), cap=35.0)
+        for _ in range(500):
+            assert dist.sample(rng) <= 35.0
+
+    def test_quantile_capped(self):
+        dist = Truncated(LogNormal.from_median_p90(10.0, 30.0), cap=20.0)
+        assert dist.quantile(0.99) == 20.0
+        assert dist.quantile(0.5) == pytest.approx(10.0, rel=1e-6)
+
+    def test_mean_below_cap(self):
+        base = LogNormal.from_median_p90(10.0, 30.0)
+        assert Truncated(base, cap=15.0).mean() <= 15.0
+
+    def test_invalid_cap(self):
+        with pytest.raises(DistributionError):
+            Truncated(Constant(1.0), cap=0.0)
+
+    @given(cap=st.floats(1.0, 100.0))
+    @settings(max_examples=50)
+    def test_cap_property(self, cap):
+        rng = np.random.default_rng(0)
+        dist = Truncated(Exponential(50.0), cap=cap)
+        assert all(dist.sample(rng) <= cap for _ in range(50))
+
+
+class TestEmpirical:
+    def test_samples_from_values(self, rng):
+        dist = Empirical([1.0, 2.0, 3.0])
+        assert set(dist.sample(rng) for _ in range(100)) <= {1.0, 2.0, 3.0}
+
+    def test_mean(self):
+        assert Empirical([1.0, 2.0, 3.0]).mean() == 2.0
+
+    def test_quantile_interpolates(self):
+        assert Empirical([0.0, 10.0]).quantile(0.5) == 5.0
+
+    def test_sample_many_shape(self, rng):
+        assert Empirical([1.0, 2.0]).sample_many(rng, 17).shape == (17,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            Empirical([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Empirical([1.0, -2.0])
+
+    def test_len(self):
+        assert len(Empirical([1.0, 2.0, 3.0])) == 3
+
+
+class TestScaled:
+    def test_sample_scaled(self, rng):
+        assert Scaled(Constant(3.0), 2.0).sample(rng) == 6.0
+
+    def test_mean_and_quantile_scaled(self):
+        dist = Scaled(Uniform(0.0, 10.0), 3.0)
+        assert dist.mean() == 15.0
+        assert dist.quantile(0.5) == 15.0
+
+    def test_scale_helper_flattens(self):
+        nested = scale(scale(Constant(1.0), 2.0), 3.0)
+        assert isinstance(nested, Scaled)
+        assert isinstance(nested.base, Constant)
+        assert nested.factor == 6.0
+
+    def test_scale_helper_identity(self):
+        base = Constant(1.0)
+        assert scale(base, 1.0) is base
+
+    def test_invalid_factor(self):
+        with pytest.raises(DistributionError):
+            Scaled(Constant(1.0), 0.0)
