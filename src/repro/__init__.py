@@ -14,6 +14,8 @@ Layering (bottom to top):
 * :mod:`repro.experiments` — drivers regenerating every evaluation table
   and figure, plus extension experiments (online model correction,
   straggler speculation, multi-job arbitration, §2.4/§3.2 studies).
+* :mod:`repro.telemetry` — metrics registry, structured trace recorder,
+  Chrome/JSONL exporters, and the control-loop decision audit.
 * :mod:`repro.persist` — JSON bundles for trained models.
 * :mod:`repro.analysis` — trace analytics (Gantt, utilization, realized
   critical path).
@@ -42,14 +44,23 @@ from repro.core import (
 from repro.cluster import Cluster, ClusterConfig
 from repro.jobs import JobGraph, JobProfile, RunTrace, generate_table2_jobs
 from repro.runtime import JobManager, run_to_completion
+from repro.telemetry import (
+    ControlAudit,
+    MetricsRegistry,
+    TraceEvent,
+    TraceRecorder,
+    capture,
+    default_registry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AmdahlModel",
     "AmdahlPolicy",
     "Cluster",
     "ClusterConfig",
+    "ControlAudit",
     "ControlConfig",
     "CpaPredictor",
     "CpaTable",
@@ -59,11 +70,16 @@ __all__ = [
     "JockeyController",
     "JockeyPolicy",
     "MaxAllocationPolicy",
+    "MetricsRegistry",
     "NoAdaptationPolicy",
     "PiecewiseLinearUtility",
     "RunTrace",
+    "TraceEvent",
+    "TraceRecorder",
     "__version__",
+    "capture",
     "deadline_utility",
+    "default_registry",
     "generate_table2_jobs",
     "oracle_allocation",
     "run_to_completion",

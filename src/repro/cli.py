@@ -6,18 +6,29 @@ Commands mirror the operational workflow of the paper's system:
   one), execute a profiling run on the simulated cluster, build the
   C(p, a) model, and save everything as a JSON bundle.
 * ``run`` — load a bundle and execute the job under a policy against a
-  deadline, printing the outcome and the allocation timeline.
+  deadline, printing the outcome and the allocation timeline.  With
+  ``--trace-out`` the run's full timeline is written in Chrome trace-event
+  format (open in https://ui.perfetto.dev); ``--metrics-out`` dumps the
+  metrics-registry snapshot as JSON.
 * ``experiment`` — regenerate one of the paper's tables/figures.
 * ``list-experiments`` — enumerate the available experiment ids.
+* ``trace summarize <file>`` — per-kind table for a recorded trace.
+
+Exit codes: 0 success, 1 runtime failure (or a missed deadline for
+``run``), 2 argument/usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro import persist
+from repro import __version__, persist
+from repro.telemetry import export as telemetry_export
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import trace as telemetry_trace
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.control import ControlConfig
 from repro.core.cpa import CpaTable
@@ -71,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Jockey (EuroSys 2012) reproduction toolkit",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser("train", help="profile a job and save its model")
@@ -99,6 +113,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--runtime-scale", type=float, default=1.0,
         help="inflate this run's task runtimes (input growth; default 1.0)",
     )
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the run's timeline as Chrome trace-event JSON "
+             "(open in Perfetto)",
+    )
+    run.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="also write the raw events as JSONL (lossless)",
+    )
+    run.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a metrics-registry snapshot as JSON",
+    )
+    run.add_argument(
+        "--trace-capacity", type=int, default=1 << 18,
+        help="trace ring-buffer size in events (default: 262144)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -110,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("list-experiments", help="list experiment ids")
+
+    trace = sub.add_parser("trace", help="inspect a recorded trace file")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="print a per-kind event table"
+    )
+    summarize.add_argument("file", help="trace file (Chrome JSON or JSONL)")
     return parser
 
 
@@ -187,26 +225,44 @@ def cmd_run(args, out) -> int:
     indicator = totalwork_with_q(profile)
     policy = _build_policy(args.policy, table, indicator, profile, deadline)
 
-    sim = Simulator()
-    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(args.seed))
-    behavior = profile.with_runtime_scale(args.runtime_scale)
-    manager = JobManager(
-        cluster, graph, behavior,
-        initial_allocation=policy.initial_allocation(),
-        rng=RngRegistry(args.seed).stream("cli-run"),
-        deadline=deadline,
+    want_trace = args.trace_out or args.trace_jsonl
+    if args.metrics_out:
+        # Per-run metrics: zero the registry so the snapshot covers this
+        # run only (values reset in place; cached instruments stay valid).
+        telemetry_metrics.REGISTRY.reset()
+    recorder = (
+        telemetry_trace.TraceRecorder(capacity=args.trace_capacity)
+        if want_trace else None
+    )
+    # Note `is not None`: an empty TraceRecorder is falsy (len() == 0).
+    previous_recorder = (
+        telemetry_trace.install(recorder) if recorder is not None else None
     )
 
-    def tick():
-        if manager.finished:
-            return
-        allocation = policy.on_tick(manager.snapshot())
-        if allocation is not None:
-            manager.set_allocation(allocation)
+    sim = Simulator()
+    try:
+        cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(args.seed))
+        behavior = profile.with_runtime_scale(args.runtime_scale)
+        manager = JobManager(
+            cluster, graph, behavior,
+            initial_allocation=policy.initial_allocation(),
+            rng=RngRegistry(args.seed).stream("cli-run"),
+            deadline=deadline,
+        )
 
-    if policy.adaptive:
-        sim.schedule_every(60.0, tick)
-    trace = run_to_completion(manager)
+        def tick():
+            if manager.finished:
+                return
+            allocation = policy.on_tick(manager.snapshot())
+            if allocation is not None:
+                manager.set_allocation(allocation)
+
+        if policy.adaptive:
+            sim.schedule_every(60.0, tick)
+        trace = run_to_completion(manager)
+    finally:
+        if recorder is not None:
+            telemetry_trace.install(previous_recorder)
     verdict = "MET" if trace.met_deadline() else "MISSED"
     allocations = [a for _t, a in trace.allocation_timeline]
     out.write(
@@ -220,6 +276,21 @@ def cmd_run(args, out) -> int:
         f"{sum(1 for r in trace.records if r.outcome == 'evicted')}, "
         f"failures {sum(1 for r in trace.records if r.outcome == 'failed')}\n"
     )
+    if recorder is not None:
+        events = recorder.events()
+        if args.trace_out:
+            telemetry_export.write_chrome_trace(events, args.trace_out)
+            out.write(f"  wrote {len(events)} trace events to {args.trace_out}"
+                      f" ({recorder.dropped} dropped)\n")
+        if args.trace_jsonl:
+            telemetry_export.write_jsonl(events, args.trace_jsonl)
+            out.write(f"  wrote JSONL trace to {args.trace_jsonl}\n")
+    if args.metrics_out:
+        sim.publish_metrics()
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(telemetry_metrics.REGISTRY.snapshot(), fh, indent=2)
+            fh.write("\n")
+        out.write(f"  wrote metrics snapshot to {args.metrics_out}\n")
     return 0 if trace.met_deadline() else 1
 
 
@@ -244,17 +315,41 @@ def cmd_list_experiments(out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    try:
+        events = telemetry_export.load_events(args.file)
+    except (OSError, telemetry_export.ExportError) as exc:
+        out.write(f"error: cannot read trace: {exc}\n")
+        return 1
+    out.write(telemetry_export.summarize(events))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point.  Returns 2 for argument errors (argparse usage
+    failures), 1 for runtime failures, the command's code otherwise."""
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
-    if args.command == "train":
-        return cmd_train(args, out)
-    if args.command == "run":
-        return cmd_run(args, out)
-    if args.command == "experiment":
-        return cmd_experiment(args, out)
-    if args.command == "list-experiments":
-        return cmd_list_experiments(out)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors, 0 on --help/--version.
+        if exc.code is None:
+            return 0
+        return exc.code if isinstance(exc.code, int) else 2
+    try:
+        if args.command == "train":
+            return cmd_train(args, out)
+        if args.command == "run":
+            return cmd_run(args, out)
+        if args.command == "experiment":
+            return cmd_experiment(args, out)
+        if args.command == "list-experiments":
+            return cmd_list_experiments(out)
+        if args.command == "trace":
+            return cmd_trace(args, out)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        out.write(f"error: {type(exc).__name__}: {exc}\n")
+        return 1
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -69,8 +69,10 @@ class Cluster:
         self.sim = sim
         self.config = config
         self.rng = rng if rng is not None else RngRegistry(0)
-        self.machines = MachinePark(config.num_machines, config.slots_per_machine)
-        self.pool = TokenPool(self.machines.capacity)
+        self.machines = MachinePark(
+            config.num_machines, config.slots_per_machine, clock=lambda: sim.now
+        )
+        self.pool = TokenPool(self.machines.capacity, clock=lambda: sim.now)
         self.machines.listeners.append(self._on_machine_change)
         self._machine_down_listeners: List[Callable[[int], None]] = []
         self.background: Optional[BackgroundLoad] = None

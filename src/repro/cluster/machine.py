@@ -13,6 +13,19 @@ from typing import Callable, List, Optional, Set
 
 import numpy as np
 
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_FAILURES = _metrics.REGISTRY.counter(
+    "repro_cluster_machine_failures_total", "Machines marked down"
+)
+_REPAIRS = _metrics.REGISTRY.counter(
+    "repro_cluster_machine_repairs_total", "Machines brought back up"
+)
+_UP = _metrics.REGISTRY.gauge(
+    "repro_cluster_machines_up", "Machines currently up"
+)
+
 
 class MachineError(RuntimeError):
     """Raised on invalid machine operations."""
@@ -21,7 +34,13 @@ class MachineError(RuntimeError):
 class MachinePark:
     """A fixed fleet of machines, each with the same number of slots."""
 
-    def __init__(self, num_machines: int, slots_per_machine: int):
+    def __init__(
+        self,
+        num_machines: int,
+        slots_per_machine: int,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if num_machines < 1 or slots_per_machine < 1:
             raise MachineError(
                 f"need >= 1 machine and slot, got {num_machines}x{slots_per_machine}"
@@ -29,8 +48,13 @@ class MachinePark:
         self.num_machines = num_machines
         self.slots_per_machine = slots_per_machine
         self._down: Set[int] = set()
+        self._clock = clock
         #: Observers called with (machine_id, is_up) on state changes.
         self.listeners: List[Callable[[int, bool], None]] = []
+        _UP.set(num_machines)
+
+    def _ts(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
 
     @property
     def capacity(self) -> int:
@@ -60,6 +84,12 @@ class MachinePark:
         if machine_id in self._down:
             return False
         self._down.add(machine_id)
+        _FAILURES.inc()
+        _UP.set(self.up_count)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self._ts(), "machine.down",
+                     machine=machine_id, up=self.up_count)
         for listener in list(self.listeners):
             listener(machine_id, False)
         return True
@@ -70,6 +100,12 @@ class MachinePark:
         if machine_id not in self._down:
             return False
         self._down.remove(machine_id)
+        _REPAIRS.inc()
+        _UP.set(self.up_count)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self._ts(), "machine.up",
+                     machine=machine_id, up=self.up_count)
         for listener in list(self.listeners):
             listener(machine_id, True)
         return True

@@ -18,6 +18,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_RECOMPUTES = _metrics.REGISTRY.counter(
+    "repro_cluster_recomputes_total", "Token-pool allocation recomputations"
+)
+_GRANT_CHANGES = _metrics.REGISTRY.counter(
+    "repro_cluster_grant_changes_total", "Consumer grant changes"
+)
+_CAPACITY = _metrics.REGISTRY.gauge(
+    "repro_cluster_capacity_tokens", "Current token-pool capacity"
+)
+
 
 class TokenError(RuntimeError):
     """Raised on invalid token-pool operations."""
@@ -93,13 +106,20 @@ def _largest_remainder_round(shares: List[float], budget: int) -> List[int]:
 class TokenPool:
     """The cluster-wide token scheduler."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, *, clock: Optional[Callable[[], float]] = None):
         if capacity < 0:
             raise TokenError(f"negative capacity {capacity!r}")
         self._capacity = capacity
         self._consumers: Dict[str, Consumer] = {}
         self._in_recompute = False
         self._recompute_queued = False
+        #: Virtual-time source for trace events (the cluster passes
+        #: ``lambda: sim.now``); pools built without one stamp 0.0.
+        self._clock = clock
+        _CAPACITY.set(capacity)
+
+    def _ts(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
 
     # ------------------------------------------------------------------
     # Registration and updates
@@ -147,6 +167,10 @@ class TokenPool:
             raise TokenError(f"negative capacity {capacity!r}")
         if capacity != self._capacity:
             self._capacity = capacity
+            _CAPACITY.set(capacity)
+            rec = _trace.RECORDER
+            if rec.enabled:
+                rec.emit(self._ts(), "tokens.capacity", capacity=capacity)
             self.recompute()
 
     def set_guaranteed(self, name: str, guaranteed: int) -> int:
@@ -197,16 +221,28 @@ class TokenPool:
             self._in_recompute = False
 
     def _recompute_once(self) -> None:
+        _RECOMPUTES.inc()
         consumers = list(self._consumers.values())
         grants = compute_grants(self._capacity, consumers)
+        rec = _trace.RECORDER
         for consumer, grant in zip(consumers, grants):
             changed = (
                 grant.total != consumer.grant.total
                 or grant.guaranteed_part != consumer.grant.guaranteed_part
             )
             consumer.grant = grant
-            if changed and consumer.on_grant is not None:
-                consumer.on_grant(grant)
+            if changed:
+                _GRANT_CHANGES.inc()
+                if rec.enabled:
+                    rec.emitted += 1
+                    rec.raw((self._ts(), "tokens.grant",
+                             {"consumer": consumer.name,
+                              "total": grant.total,
+                              "guaranteed_part": grant.guaranteed_part,
+                              "spare_part": grant.spare_part,
+                              "demand": consumer.demand}))
+                if consumer.on_grant is not None:
+                    consumer.on_grant(grant)
 
     def snapshot(self) -> Dict[str, Grant]:
         return {name: c.grant for name, c in self._consumers.items()}

@@ -21,10 +21,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Mapping, Optional, Protocol, Sequence
+from typing import List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.core.cpa import CpaTable
 from repro.core.utility import PiecewiseLinearUtility
+from repro.telemetry import audit as _audit
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_TICKS = _metrics.REGISTRY.counter(
+    "repro_control_ticks_total",
+    "Control-loop iterations (decide calls)",
+    labelnames=("predictor",),
+)
+_DEAD_ZONE = _metrics.REGISTRY.counter(
+    "repro_control_dead_zone_total",
+    "Ticks where the dead zone changed the raw allocation choice",
+    labelnames=("predictor",),
+)
+_ALLOCATION = _metrics.REGISTRY.gauge(
+    "repro_control_allocation_tokens",
+    "Most recently applied allocation",
+    labelnames=("predictor",),
+)
 
 
 class ControlError(ValueError):
@@ -132,6 +151,10 @@ class JockeyController:
         self._smoothed: Optional[float] = None
         self._stage_names = tuple(stage_names)
         self.decisions: List[ControlDecision] = []
+        #: Per-tick decision trail (progress, per-candidate predictions,
+        #: raw/dead-zone/hysteresis chain); ``audit.decisions()`` is the
+        #: accessor experiments use.
+        self.audit = _audit.ControlAudit()
 
     # ------------------------------------------------------------------
 
@@ -153,30 +176,71 @@ class JockeyController:
 
     def _raw_allocation(
         self, fractions: Mapping[str, float], elapsed: float
-    ) -> tuple:
+    ) -> Tuple[int, float, float, Tuple[_audit.CandidateEval, ...], bool]:
         """Minimum allocation maximizing expected (dead-zone-shifted,
-        slacked) utility; returns (allocation, prediction, utility)."""
+        slacked) utility; returns (allocation, prediction, utility,
+        candidate evaluations, dead-zone-triggered flag).  The flag is True
+        when the dead-zone shift changed which allocation the argmin picks
+        versus the unshifted utility."""
         best_u = -math.inf
+        best_u0 = -math.inf
         utilities = []
+        candidates = []
         for a in self._grid:
             remaining = self.config.slack * self.predictor.remaining_seconds(
                 fractions, a
             )
             u = self._effective.value(elapsed + remaining)
-            utilities.append((a, remaining, u))
+            u0 = self._utility.value(elapsed + remaining)
+            utilities.append((a, remaining, u, u0))
+            candidates.append(_audit.CandidateEval(a, remaining, u))
             best_u = max(best_u, u)
-        for a, remaining, u in utilities:
-            if u >= best_u - 1e-9:
-                return a, remaining, u
-        raise AssertionError("unreachable")  # pragma: no cover
+            best_u0 = max(best_u0, u0)
+        chosen = None
+        unshifted = None
+        for a, remaining, u, u0 in utilities:
+            if chosen is None and u >= best_u - 1e-9:
+                chosen = (a, remaining, u)
+            if unshifted is None and u0 >= best_u0 - 1e-9:
+                unshifted = a
+            if chosen is not None and unshifted is not None:
+                break
+        assert chosen is not None and unshifted is not None
+        a, remaining, u = chosen
+        return a, remaining, u, tuple(candidates), a != unshifted
+
+    def _observed_progress(self, fractions: Mapping[str, float]) -> Optional[float]:
+        """The predictor's indicator progress, when it has one (the
+        simulator-backed predictors do; Amdahl's Law does not)."""
+        indicator = getattr(self.predictor, "indicator", None)
+        if indicator is None:
+            return None
+        try:
+            return float(indicator.progress(fractions))
+        except Exception:
+            return None
 
     def initial_allocation(self, fractions: Optional[Mapping[str, float]] = None) -> int:
         """Allocation before the job starts (progress 0, elapsed 0).  Also
         resets hysteresis state."""
         if fractions is None:
             fractions = self._zero_fractions()
-        raw, _remaining, _u = self._raw_allocation(fractions, 0.0)
+        raw, remaining, u, candidates, dead_zone = self._raw_allocation(fractions, 0.0)
         self._smoothed = float(raw)
+        self.audit.record(_audit.TickRecord(
+            tick=len(self.audit),
+            phase=_audit.PHASE_INITIAL,
+            elapsed=0.0,
+            progress=self._observed_progress(fractions),
+            candidates=candidates,
+            raw=raw,
+            dead_zone_triggered=dead_zone,
+            prev_smoothed=None,
+            smoothed=self._smoothed,
+            allocation=raw,
+            predicted_remaining=remaining,
+            utility=u,
+        ))
         return raw
 
     def _zero_fractions(self) -> Mapping[str, float]:
@@ -189,7 +253,8 @@ class JockeyController:
 
     def decide(self, fractions: Mapping[str, float], elapsed: float) -> ControlDecision:
         """One control iteration."""
-        raw, _rem, _u = self._raw_allocation(fractions, elapsed)
+        raw, _rem, _u, candidates, dead_zone = self._raw_allocation(fractions, elapsed)
+        prev_smoothed = self._smoothed
         if self._smoothed is None:
             self._smoothed = float(raw)
         else:
@@ -209,6 +274,39 @@ class JockeyController:
             utility=self._effective.value(elapsed + predicted),
         )
         self.decisions.append(decision)
+        progress = self._observed_progress(fractions)
+        self.audit.record(_audit.TickRecord(
+            tick=len(self.audit),
+            phase=_audit.PHASE_TICK,
+            elapsed=elapsed,
+            progress=progress,
+            candidates=candidates,
+            raw=raw,
+            dead_zone_triggered=dead_zone,
+            prev_smoothed=prev_smoothed,
+            smoothed=self._smoothed,
+            allocation=allocation,
+            predicted_remaining=predicted,
+            utility=decision.utility,
+        ))
+        predictor_name = getattr(self.predictor, "name", "unknown")
+        _TICKS.labels(predictor=predictor_name).inc()
+        if dead_zone:
+            _DEAD_ZONE.labels(predictor=predictor_name).inc()
+        _ALLOCATION.labels(predictor=predictor_name).set(allocation)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(
+                elapsed, "control.tick",
+                predictor=predictor_name,
+                raw=raw,
+                smoothed=self._smoothed,
+                allocation=allocation,
+                dead_zone_triggered=dead_zone,
+                predicted_remaining=predicted,
+                utility=decision.utility,
+                progress=progress,
+            )
         return decision
 
 

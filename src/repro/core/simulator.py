@@ -23,6 +23,18 @@ import numpy as np
 
 from repro.jobs.dag import DependencyTracker, JobGraph
 from repro.jobs.profiles import JobProfile
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_SIMULATIONS = _metrics.REGISTRY.counter(
+    "repro_core_simulations_total", "Offline C(p, a) simulation runs"
+)
+_SIM_FAILURES = _metrics.REGISTRY.counter(
+    "repro_core_simulated_failures_total", "Task failures inside offline runs"
+)
+_SIM_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_core_simulated_duration_seconds", "Offline simulated job durations"
+)
 
 
 class SimulatorError(RuntimeError):
@@ -159,6 +171,15 @@ def simulate_job(
             spans[name] = (min(lo, 1.0), min(max(hi, lo), 1.0))
     if indicator is not None:
         samples.append((duration, indicator.progress(fractions())))
+    _SIMULATIONS.inc()
+    _SIM_FAILURES.inc(failures)
+    _SIM_SECONDS.observe(duration)
+    rec = _trace.RECORDER
+    if rec.enabled:
+        rec.emit(0.0, "sim.offline_run",
+                 job=graph.name, allocation=allocation,
+                 duration=duration, failures=failures,
+                 cpu_seconds=total_cpu)
     return SimulatedRun(
         allocation=allocation,
         duration=duration,

@@ -10,6 +10,7 @@ and cluster conditions — §2.3/Table 3).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,10 @@ from repro.runtime.jobmanager import JobManager, run_to_completion
 from repro.runtime.speculation import SpeculationConfig
 from repro.simkit.events import Simulator
 from repro.simkit.random import RngRegistry, derive_seed
+from repro.telemetry import export as telemetry_export
+from repro.telemetry import trace as telemetry_trace
+from repro.telemetry.audit import TickRecord
+from repro.telemetry.trace import TraceEvent
 
 
 #: Per-run ground-truth perturbation: recurring jobs' work varies run to
@@ -59,6 +64,13 @@ class RunConfig:
     #: Optional straggler mitigation (speculative duplicates, §4.4).
     speculation: Optional[SpeculationConfig] = None
     max_virtual_seconds: float = 12 * 3600.0
+    #: Record structured trace events for this run (implied by trace_path);
+    #: the events land in ``ExperimentResult.trace_events``.
+    capture_trace: bool = False
+    #: When set, the run's timeline is written here in Chrome trace-event
+    #: format — any figure reproduction can emit a Perfetto timeline.
+    trace_path: Optional[str] = None
+    trace_capacity: int = 1 << 16
 
 
 #: Per-run cluster-day sampling: most days are near the trained mean, but
@@ -88,6 +100,11 @@ class ExperimentResult:
     #: (minute, raw controller allocation) for adaptive policies.
     raw_series: List[Tuple[float, int]] = field(default_factory=list)
     final_deadline: float = 0.0
+    #: Structured events captured when ``RunConfig.capture_trace`` was set.
+    trace_events: List[TraceEvent] = field(default_factory=list)
+    #: The controller's per-tick decision audit (empty for non-controller
+    #: policies): progress, candidate predictions, raw/dead-zone/hysteresis.
+    audit_records: List[TickRecord] = field(default_factory=list)
 
 
 def run_experiment(
@@ -116,52 +133,62 @@ def run_experiment(
         )
         cluster_config = replace(cluster_config, background_mean_demand=day)
 
-    sim = Simulator()
-    cluster = Cluster(
-        sim, cluster_config, rng=rng.spawn("cluster"), episodes=config.episodes
+    capture_needed = config.capture_trace or config.trace_path is not None
+    capture_ctx = (
+        telemetry_trace.capture(capacity=config.trace_capacity)
+        if capture_needed else nullcontext(None)
     )
-    manager = JobManager(
-        cluster,
-        trained.graph,
-        behavior,
-        initial_allocation=policy.initial_allocation(),
-        rng=rng.stream("job"),
-        deadline=config.deadline_seconds,
-        speculation=config.speculation,
-    )
-
     raw_series: List[Tuple[float, int]] = []
+    with capture_ctx as recorder:
+        sim = Simulator()
+        cluster = Cluster(
+            sim, cluster_config, rng=rng.spawn("cluster"), episodes=config.episodes
+        )
+        manager = JobManager(
+            cluster,
+            trained.graph,
+            behavior,
+            initial_allocation=policy.initial_allocation(),
+            rng=rng.stream("job"),
+            deadline=config.deadline_seconds,
+            speculation=config.speculation,
+        )
 
-    def control_tick() -> None:
-        if manager.finished:
-            return
-        new_allocation = policy.on_tick(manager.snapshot())
-        if new_allocation is not None:
-            manager.set_allocation(new_allocation)
-        decision = policy.last_decision()
-        if decision is not None:
-            raw_series.append((sim.now / 60.0, decision.raw))
+        def control_tick() -> None:
+            if manager.finished:
+                return
+            new_allocation = policy.on_tick(manager.snapshot())
+            if new_allocation is not None:
+                manager.set_allocation(new_allocation)
+            decision = policy.last_decision()
+            if decision is not None:
+                raw_series.append((sim.now / 60.0, decision.raw))
 
-    if policy.adaptive:
-        sim.schedule_every(config.control_period, control_tick)
+        if policy.adaptive:
+            sim.schedule_every(config.control_period, control_tick)
 
-    final_deadline = config.deadline_seconds
-    for at_seconds, new_deadline in config.deadline_changes:
+        final_deadline = config.deadline_seconds
+        for at_seconds, new_deadline in config.deadline_changes:
 
-        def apply_change(d=new_deadline) -> None:
-            nonlocal final_deadline
-            final_deadline = d
-            manager.trace.deadline = d
-            policy.change_utility(deadline_utility(d))
+            def apply_change(d=new_deadline) -> None:
+                nonlocal final_deadline
+                final_deadline = d
+                manager.trace.deadline = d
+                policy.change_utility(deadline_utility(d))
 
-        sim.schedule_at(at_seconds, apply_change)
+            sim.schedule_at(at_seconds, apply_change)
 
-    manager.trace.metadata["cluster_day_mean_demand"] = float(
-        cluster_config.background_mean_demand or 0.0
-    )
-    manager.trace.metadata["runtime_scale"] = runtime_scale
-    trace = run_to_completion(manager, max_seconds=config.max_virtual_seconds)
+        manager.trace.metadata["cluster_day_mean_demand"] = float(
+            cluster_config.background_mean_demand or 0.0
+        )
+        manager.trace.metadata["runtime_scale"] = runtime_scale
+        trace = run_to_completion(manager, max_seconds=config.max_virtual_seconds)
     metrics = metrics_from_trace(trace, policy=policy.name)
+    trace_events = recorder.events() if recorder is not None else []
+    if config.trace_path is not None:
+        telemetry_export.write_chrome_trace(trace_events, config.trace_path)
+    controller = getattr(policy, "controller", None)
+    audit = getattr(controller, "audit", None)
     return ExperimentResult(
         metrics=metrics,
         trace=trace,
@@ -170,6 +197,8 @@ def run_experiment(
         running_series=[(t / 60.0, r) for t, r in trace.running_timeline],
         raw_series=raw_series,
         final_deadline=final_deadline,
+        trace_events=trace_events,
+        audit_records=audit.decisions() if audit is not None else [],
     )
 
 

@@ -34,8 +34,38 @@ from repro.jobs.trace import (
     RunTrace,
     TaskRecord,
 )
-from repro.runtime.speculation import SpeculationConfig
+from repro.runtime.speculation import SpeculationConfig, SpeculationScan, record_scan
 from repro.runtime.task import RunningTask, TaskId
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_TASKS = _metrics.REGISTRY.counter(
+    "repro_runtime_tasks_total",
+    "Task attempts reaching a terminal state",
+    labelnames=("outcome",),
+)
+#: Cache the per-outcome children so the hot path is one attribute call.
+_TASK_OUTCOMES = {
+    outcome: _TASKS.labels(outcome=outcome)
+    for outcome in (OUTCOME_OK, OUTCOME_FAILED, OUTCOME_EVICTED, OUTCOME_SUPERSEDED)
+}
+_TASK_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_runtime_task_seconds",
+    "Wall time of terminal task attempts",
+    labelnames=("outcome",),
+)
+_TASK_SECONDS_OUTCOMES = {
+    outcome: _TASK_SECONDS.labels(outcome=outcome) for outcome in _TASK_OUTCOMES
+}
+_STARTS = _metrics.REGISTRY.counter(
+    "repro_runtime_task_starts_total", "Task attempts started"
+)
+_JOBS_DONE = _metrics.REGISTRY.counter(
+    "repro_runtime_jobs_completed_total", "Jobs run to completion"
+)
+_JOB_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_runtime_job_seconds", "Job durations"
+)
 
 
 class JobManagerError(RuntimeError):
@@ -157,6 +187,10 @@ class JobManager:
             raise JobManagerError(f"negative allocation {tokens!r}")
         applied = self.cluster.pool.set_guaranteed(self.name, tokens)
         self.trace.mark_allocation(self.sim.now, applied)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self.sim.now, "job.allocation",
+                     job=self.name, requested=tokens, applied=applied)
         return applied
 
     def snapshot(self) -> JobSnapshot:
@@ -205,6 +239,13 @@ class JobManager:
     def _enqueue(self, task_id: TaskId) -> None:
         self._ready.append(task_id)
         self._ready_times.setdefault(task_id, self.sim.now)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emitted += 1
+            rec.raw((self.sim.now, "task.queued",
+                     {"job": self.name, "stage": task_id[0],
+                      "index": task_id[1],
+                      "attempt": self._attempts.get(task_id, 0)}))
 
     def _update_demand(self) -> None:
         if self.finished:
@@ -306,6 +347,15 @@ class JobManager:
         )
         task.finish_handle = self.sim.schedule(runtime, lambda t=task: self._finish(t))
         self._running.append(task)
+        _STARTS.inc()
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emitted += 1
+            rec.raw((self.sim.now, "task.start",
+                     {"job": self.name, "stage": stage_name,
+                      "index": task_id[1], "attempt": attempt,
+                      "machine": machine, "spare": used_spare,
+                      "duplicate": is_duplicate}))
 
     def _record(self, task: RunningTask, outcome: str, end_time: float) -> None:
         self.trace.add(
@@ -321,6 +371,21 @@ class JobManager:
                 used_spare_token=task.spare_at_start,
             )
         )
+        counter = _TASK_OUTCOMES.get(outcome)
+        if counter is not None:
+            counter.inc()
+            _TASK_SECONDS_OUTCOMES[outcome].observe(end_time - task.start_time)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            # `start`/`end` make the exporter render this as a Perfetto span.
+            rec.emitted += 1
+            rec.raw((end_time, "task.end",
+                     {"job": self.name, "stage": task.task_id[0],
+                      "index": task.task_id[1], "attempt": task.attempt,
+                      "outcome": outcome, "machine": task.machine,
+                      "spare": task.spare_at_start,
+                      "duplicate": task.is_duplicate,
+                      "start": task.start_time, "end": end_time}))
 
     def _sibling_attempts(self, task: RunningTask) -> List[RunningTask]:
         return [
@@ -442,24 +507,43 @@ class JobManager:
             if elapsed > threshold:
                 stragglers.append(task)
         if not stragglers:
+            record_scan(self.sim.now, self.name,
+                        SpeculationScan(running=len(self._running), budget=budget,
+                                        stragglers=0, launched=0))
             return
         # Ask the pool for room to race the stragglers; it may grant less.
         self._speculative_demand = len(stragglers)
         self._update_demand()
         grant = self.consumer.grant
+        launched = 0
         for task in stragglers:
             if len(self._running) >= self._grant_cap(grant):
                 break
             self._start_task(task.task_id, grant, is_duplicate=True)
             self.duplicates_launched += 1
+            launched += 1
         self._speculative_demand = 0
         self._update_demand()
         self.trace.mark_running(self.sim.now, len(self._running))
+        record_scan(self.sim.now, self.name,
+                    SpeculationScan(running=len(self._running), budget=budget,
+                                    stragglers=len(stragglers), launched=launched))
 
     def _complete_job(self) -> None:
         self.finished = True
         self.trace.end_time = self.sim.now
         self.trace.mark_running(self.sim.now, 0)
+        duration = self.sim.now - self.start_time
+        _JOBS_DONE.inc()
+        _JOB_SECONDS.observe(duration)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self.sim.now, "job.complete",
+                     job=self.name, duration=duration,
+                     tasks=self._completed_tasks,
+                     duplicates_launched=self.duplicates_launched,
+                     duplicates_won=self.duplicates_won,
+                     start=self.start_time, end=self.sim.now)
         self._update_demand()
         self.cluster.pool.set_guaranteed(self.name, 0)
         if self._on_complete is not None:

@@ -15,6 +15,50 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_SCANS = _metrics.REGISTRY.counter(
+    "repro_runtime_speculation_scans_total", "Straggler scans performed"
+)
+_STRAGGLERS = _metrics.REGISTRY.counter(
+    "repro_runtime_stragglers_total", "Tasks flagged as stragglers"
+)
+_DUPLICATES = _metrics.REGISTRY.counter(
+    "repro_runtime_duplicates_total", "Duplicate attempts launched"
+)
+
+
+@dataclass(frozen=True)
+class SpeculationScan:
+    """Outcome of one straggler scan — the per-lifecycle visibility the
+    task-cloning literature says speculation policies need to be debugged."""
+
+    running: int
+    budget: int
+    stragglers: int
+    launched: int
+
+
+def record_scan(ts: float, job: str, scan: SpeculationScan) -> None:
+    """Count the scan and, when tracing, emit a ``speculation.scan`` event
+    (only for scans that actually found stragglers, to keep traces lean)."""
+    _SCANS.inc()
+    if scan.stragglers:
+        _STRAGGLERS.inc(scan.stragglers)
+    if scan.launched:
+        _DUPLICATES.inc(scan.launched)
+    rec = _trace.RECORDER
+    if rec.enabled and scan.stragglers:
+        rec.emit(
+            ts, "speculation.scan",
+            job=job,
+            running=scan.running,
+            budget=scan.budget,
+            stragglers=scan.stragglers,
+            launched=scan.launched,
+        )
+
 
 @dataclass(frozen=True)
 class SpeculationConfig:
@@ -46,4 +90,4 @@ class SpeculationConfig:
             raise ValueError("max duplicate fraction must be in (0, 1]")
 
 
-__all__ = ["SpeculationConfig"]
+__all__ = ["SpeculationConfig", "SpeculationScan", "record_scan"]

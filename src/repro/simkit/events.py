@@ -12,6 +12,9 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
 
 class SimulationError(RuntimeError):
     """Raised on invalid use of the simulator (e.g. scheduling in the past)."""
@@ -20,17 +23,29 @@ class SimulationError(RuntimeError):
 class EventHandle:
     """A cancelable reference to a scheduled event."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_sim", "_queued")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
+        self._queued = sim is not None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queued and self._sim is not None:
+            self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -44,11 +59,18 @@ class Simulator:
     order, which keeps component interactions deterministic.
     """
 
+    #: Rebuild the heap once cancelled entries outnumber live ones (and the
+    #: queue is big enough for the O(n) pass to matter).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._dispatched = 0
+        self._scheduled = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -61,9 +83,29 @@ class Simulator:
         return self._dispatched
 
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled."""
+        return self._scheduled
+
+    @property
     def pending_count(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* events still queued (cancelled ones excluded)."""
+        return len(self._queue) - self._cancelled
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots."""
+        return self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, live plus cancelled (the leak the compactor bounds)."""
         return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was rebuilt to shed cancelled entries."""
+        return self._compactions
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
@@ -71,8 +113,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time:.3f}, now is t={self._now:.3f}"
             )
-        handle = EventHandle(time, next(self._seq), callback)
+        handle = EventHandle(time, next(self._seq), callback, self)
         heapq.heappush(self._queue, (time, handle.seq, handle))
+        self._scheduled += 1
         return handle
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
@@ -109,6 +152,7 @@ class Simulator:
         if not self._queue:
             return False
         time, _seq, handle = heapq.heappop(self._queue)
+        handle._queued = False
         self._now = time
         self._dispatched += 1
         handle.callback()
@@ -139,7 +183,61 @@ class Simulator:
 
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+            _time, _seq, handle = heapq.heappop(self._queue)
+            handle._queued = False
+            self._cancelled -= 1
+
+    def _note_cancelled(self) -> None:
+        """A queued handle was cancelled; compact once the heap is mostly
+        dead weight so long runs with heavy cancellation (evictions,
+        superseded duplicates) do not leak memory."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(n))."""
+        live = []
+        for entry in self._queue:
+            if entry[2].cancelled:
+                entry[2]._queued = False
+            else:
+                live.append(entry)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self._compactions += 1
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self._now, "sim.compact", pending=len(self._queue))
+
+    def publish_metrics(self, registry: Optional[_metrics.MetricsRegistry] = None) -> None:
+        """Publish queue/clock state as telemetry gauges.  Called at
+        collection points (end of a run, CLI export) rather than per event
+        to keep the dispatch loop free of instrumentation."""
+        reg = registry if registry is not None else _metrics.REGISTRY
+        reg.gauge(
+            "repro_simkit_pending_events", "Live events still queued"
+        ).set(self.pending_count)
+        reg.gauge(
+            "repro_simkit_cancelled_pending",
+            "Cancelled events still occupying heap slots",
+        ).set(self._cancelled)
+        reg.gauge(
+            "repro_simkit_events_scheduled", "Events ever scheduled"
+        ).set(self._scheduled)
+        reg.gauge(
+            "repro_simkit_events_dispatched", "Events dispatched"
+        ).set(self._dispatched)
+        reg.gauge(
+            "repro_simkit_heap_compactions", "Cancelled-entry heap rebuilds"
+        ).set(self._compactions)
+        reg.gauge(
+            "repro_simkit_virtual_time_seconds", "Current virtual clock"
+        ).set(self._now)
 
 
 class PeriodicTask:

@@ -1,0 +1,69 @@
+"""repro.telemetry — observability for the whole simulator stack.
+
+Four pieces, each usable alone:
+
+* :mod:`repro.telemetry.metrics` — Counter/Gauge/Histogram instruments
+  with labels and a process-wide default :data:`~repro.telemetry.metrics.REGISTRY`.
+* :mod:`repro.telemetry.trace` — ring-buffered structured events; disabled
+  by default, hot paths pay one attribute check.
+* :mod:`repro.telemetry.export` — JSONL and Chrome trace-event exporters
+  (open timelines in Perfetto) plus a plain-text summary.
+* :mod:`repro.telemetry.audit` — the control loop's per-tick decision
+  trail, reconstructible raw → hysteresis → applied.
+
+Metric names follow ``repro_<layer>_<name>`` (see README "Observability").
+"""
+
+from repro.telemetry.audit import (
+    CandidateEval,
+    ControlAudit,
+    TickRecord,
+    reconstruct_allocations,
+)
+from repro.telemetry.export import (
+    load_events,
+    read_jsonl,
+    summarize,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import (
+    REGISTRY,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.telemetry.trace import (
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    capture,
+    disable,
+    get_recorder,
+    install,
+)
+
+__all__ = [
+    "CandidateEval",
+    "ControlAudit",
+    "MetricError",
+    "MetricsRegistry",
+    "NullRecorder",
+    "REGISTRY",
+    "TickRecord",
+    "TraceEvent",
+    "TraceRecorder",
+    "capture",
+    "default_registry",
+    "disable",
+    "get_recorder",
+    "install",
+    "load_events",
+    "read_jsonl",
+    "reconstruct_allocations",
+    "summarize",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

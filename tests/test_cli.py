@@ -1,9 +1,11 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
+from repro import __version__
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
@@ -25,6 +27,41 @@ class TestParser:
     def test_experiment_validates_id(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestExitCodes:
+    def test_version_exits_zero(self):
+        code, _text = run_cli("--version")
+        assert code == 0
+
+    def test_version_string_matches_package(self, capsys):
+        # argparse's version action prints to real stdout before SystemExit.
+        code, _text = run_cli("--version")
+        assert code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_usage_error_exits_two(self):
+        code, _text = run_cli("no-such-command")
+        assert code == 2
+
+    def test_missing_required_arg_exits_two(self):
+        code, _text = run_cli("run", "--deadline-minutes", "10")
+        assert code == 2
+
+    def test_no_command_exits_two(self):
+        code, _text = run_cli()
+        assert code == 2
+
+    def test_runtime_failure_exits_one(self, tmp_path):
+        # A corrupt bundle passes argparse but explodes at runtime deeper
+        # than cmd_run's targeted handler; the CLI boundary maps it to 1.
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"graph": 42}')
+        code, text = run_cli(
+            "run", "--bundle", str(bad), "--deadline-minutes", "10"
+        )
+        assert code in (1, 2)
+        assert "error" in text
 
 
 class TestListExperiments:
@@ -81,6 +118,68 @@ class TestTrainAndRun:
         )
         assert code in (0, 1)
         assert "finished in" in text
+
+    def test_run_writes_chrome_trace_and_metrics(self, bundle, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2",
+            "--trace-out", str(trace_path),
+            "--trace-jsonl", str(jsonl_path),
+            "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        assert "wrote" in text
+
+        # Chrome trace: loadable JSON with at least one event per task
+        # state transition (queued/start/end), spans for completed tasks.
+        doc = json.loads(trace_path.read_text())
+        names = [e.get("name", "") for e in doc["traceEvents"]]
+        assert any(n == "task.queued" for n in names)
+        assert any(n == "task.start" for n in names)
+        assert any(n == "task.end" for n in names)
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+        # JSONL: one JSON object per line, same kinds.
+        kinds = {
+            json.loads(line)["kind"]
+            for line in jsonl_path.read_text().splitlines()
+        }
+        assert {"task.queued", "task.start", "task.end"} <= kinds
+
+        # Metrics snapshot: instruments from multiple layers.
+        snap = json.loads(metrics_path.read_text())
+        assert snap["repro_runtime_tasks_total"]["values"]['outcome="ok"'] > 0
+        assert "repro_simkit_events_dispatched" in snap
+        assert "repro_cluster_recomputes_total" in snap
+
+    def test_trace_summarize(self, bundle, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        code, _text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--trace-out", str(trace_path),
+        )
+        assert code == 0
+        code, text = run_cli("trace", "summarize", str(trace_path))
+        assert code == 0
+        assert "task.end" in text
+
+    def test_trace_summarize_missing_file(self, tmp_path):
+        code, text = run_cli("trace", "summarize", str(tmp_path / "nope.json"))
+        assert code == 1
+        assert "cannot read" in text
+
+    def test_run_without_trace_flags_installs_no_recorder(self, bundle):
+        from repro.telemetry import trace as telemetry_trace
+
+        code, _text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2",
+        )
+        assert code == 0
+        assert telemetry_trace.RECORDER is telemetry_trace.NULL
 
     def test_run_with_missing_bundle(self, tmp_path):
         code, text = run_cli(

@@ -157,6 +157,88 @@ class TestCancellation:
         assert sim.peek_time() == 2.0
 
 
+class TestCancelledHeapCompaction:
+    """Cancelled entries must not accumulate in the heap forever (the
+    speculation scanner cancels timers constantly on long runs)."""
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending_count == 6
+        assert sim.cancelled_pending == 4
+
+    def test_compaction_shrinks_heap(self):
+        sim = Simulator()
+        keep = sim.schedule(1000.0, lambda: None)
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for h in handles:
+            h.cancel()
+        # 200 cancellations cross both thresholds (>= 64 and > half).
+        assert sim.compactions >= 1
+        assert sim.heap_size < 50
+        assert sim.pending_count == 1
+        assert sim.cancelled_pending < 64
+        fired = []
+        keep.callback = lambda: fired.append(sim.now)
+        sim.run()
+        assert fired == [1000.0]
+
+    def test_no_compaction_below_threshold(self):
+        sim = Simulator()
+        for _ in range(100):
+            sim.schedule(1.0, lambda: None)
+        for h in [sim.schedule(2.0, lambda: None) for _ in range(30)]:
+            h.cancel()
+        assert sim.compactions == 0
+        assert sim.cancelled_pending == 30
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # already fired: must not count as cancelled-pending
+        assert sim.cancelled_pending == 0
+
+    def test_drop_on_dispatch_decrements_counter(self):
+        sim = Simulator()
+        h = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h.cancel()
+        assert sim.cancelled_pending == 1
+        sim.run()
+        assert sim.cancelled_pending == 0
+        assert sim.pending_count == 0
+
+    def test_sustained_cancel_churn_bounds_heap(self):
+        # The leak scenario: schedule-and-cancel in a loop.  Without
+        # compaction the heap grows to ~n; with it, it stays bounded.
+        sim = Simulator()
+        for _ in range(5000):
+            sim.schedule(10.0, lambda: None).cancel()
+        assert sim.heap_size < 200
+        assert sim.compactions > 0
+
+    def test_publish_metrics_gauges(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        # Cancelled behind a live entry: stays in the heap until reached.
+        sim.schedule(5.0, lambda: None).cancel()
+        sim.run(until=1.5)
+        reg = MetricsRegistry()
+        sim.publish_metrics(reg)
+        snap = {name: m["values"][""] for name, m in reg.snapshot().items()}
+        assert snap["repro_simkit_pending_events"] == 1
+        assert snap["repro_simkit_cancelled_pending"] == 1
+        assert snap["repro_simkit_events_scheduled"] == 3
+        assert snap["repro_simkit_events_dispatched"] == 1
+        assert snap["repro_simkit_virtual_time_seconds"] == 1.5
+
+
 class TestPeriodicTask:
     def test_fires_every_period(self):
         sim = Simulator()

@@ -1,0 +1,364 @@
+"""Unit and integration tests for the repro.telemetry subsystem."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import audit as audit_mod
+from repro.telemetry import export, metrics, trace
+from repro.telemetry.audit import ControlAudit, TickRecord, reconstruct_allocations
+from repro.telemetry.metrics import MetricError, MetricsRegistry
+from repro.telemetry.trace import NULL, TraceEvent, TraceRecorder
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("repro_test_total").inc(-1)
+
+    def test_labels_separate_cells(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_runtime_tasks_total", labelnames=("outcome",))
+        c.labels(outcome="ok").inc(3)
+        c.labels(outcome="failed").inc()
+        snap = c.snapshot()
+        assert snap["values"]['outcome="ok"'] == 3
+        assert snap["values"]['outcome="failed"'] == 1
+
+    def test_labels_cached_identity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", labelnames=("a",))
+        assert c.labels(a="1") is c.labels(a="1")
+
+    def test_wrong_labels_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total", labelnames=("a",))
+        with pytest.raises(MetricError):
+            c.labels(b="1")
+        with pytest.raises(MetricError):
+            c.inc()  # labelled metric has no default cell
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().counter("bad name!")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_test_gauge")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value == 13
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        snap = h.snapshot()["values"][""]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(555.5)
+        assert snap["buckets"]["1.0"] == 1
+        assert snap["buckets"]["10.0"] == 2
+        assert snap["buckets"]["100.0"] == 3
+        assert snap["buckets"]["+Inf"] == 4
+
+    def test_labelled_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds", labelnames=("outcome",),
+                          buckets=(1.0,))
+        h.labels(outcome="ok").observe(0.5)
+        assert h.snapshot()["values"]['outcome="ok"']["count"] == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_a_total") is reg.counter("repro_a_total")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total")
+        with pytest.raises(MetricError):
+            reg.gauge("repro_a_total")
+
+    def test_reset_zeroes_in_place(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_a_total", labelnames=("k",))
+        child = c.labels(k="x")
+        child.inc(7)
+        reg.reset()
+        assert child.value == 0.0  # the cached child, not a replacement
+        child.inc()
+        assert c.snapshot()["values"]['k="x"'] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc()
+        reg.gauge("repro_b").set(2)
+        reg.histogram("repro_c_seconds").observe(3.0)
+        json.dumps(reg.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Trace recorder
+# ----------------------------------------------------------------------
+
+
+class TestRecorder:
+    def test_null_recorder_is_default_and_noop(self):
+        assert trace.RECORDER is NULL
+        assert not trace.RECORDER.enabled
+        trace.RECORDER.emit(0.0, "anything", x=1)  # must not raise
+        assert trace.RECORDER.events() == []
+        assert len(trace.RECORDER) == 0
+
+    def test_emit_and_events(self):
+        rec = TraceRecorder(capacity=10)
+        rec.emit(1.0, "task.start", job="j", stage="s")
+        rec.emit(2.0, "task.end", job="j", stage="s")
+        events = rec.events()
+        assert [e.kind for e in events] == ["task.start", "task.end"]
+        assert events[0].fields == {"job": "j", "stage": "s"}
+
+    def test_ring_buffer_drops_oldest(self):
+        rec = TraceRecorder(capacity=3)
+        for i in range(5):
+            rec.emit(float(i), "e", i=i)
+        assert rec.dropped == 2
+        assert [e.fields["i"] for e in rec.events()] == [2, 3, 4]
+
+    def test_capture_installs_and_restores(self):
+        assert trace.RECORDER is NULL
+        with trace.capture() as rec:
+            assert trace.RECORDER is rec
+            assert trace.RECORDER.enabled
+        assert trace.RECORDER is NULL
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace.capture():
+                raise RuntimeError("boom")
+        assert trace.RECORDER is NULL
+
+    def test_install_none_disables(self):
+        prev = trace.install(TraceRecorder())
+        try:
+            trace.install(None)
+            assert trace.RECORDER is NULL
+        finally:
+            trace.install(prev)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+
+def _sample_events():
+    return [
+        TraceEvent(1.0, "task.queued", {"job": "j", "stage": "map", "index": 0}),
+        TraceEvent(2.0, "task.start", {"job": "j", "stage": "map", "index": 0}),
+        TraceEvent(9.0, "task.end",
+                   {"job": "j", "stage": "map", "index": 0,
+                    "outcome": "ok", "start": 2.0, "end": 9.0}),
+        TraceEvent(10.0, "control.tick", {"raw": 20, "allocation": 20}),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        events = _sample_events()
+        assert export.write_jsonl(events, str(path)) == len(events)
+        assert export.read_jsonl(str(path)) == events
+
+    def test_round_trip_stream(self):
+        buf = io.StringIO()
+        events = _sample_events()
+        export.write_jsonl(events, buf)
+        buf.seek(0)
+        assert export.read_jsonl(buf) == events
+
+    def test_bad_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ts": 1.0, "kind": "a", "fields": {}}\nnot json\n')
+        with pytest.raises(export.ExportError):
+            export.read_jsonl(str(path))
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = export.to_chrome_trace(_sample_events())
+        assert "traceEvents" in doc
+        json.dumps(doc)  # serializable
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert "M" in phases and "i" in phases and "X" in phases
+
+    def test_span_events_carry_duration(self):
+        doc = export.to_chrome_trace(_sample_events())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["ts"] == pytest.approx(2.0 * 1e6)
+        assert spans[0]["dur"] == pytest.approx(7.0 * 1e6)
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        export.write_chrome_trace(_sample_events(), str(path))
+        loaded = export.load_events(str(path))
+        assert {e.kind for e in loaded} == {e.kind for e in _sample_events()}
+
+    def test_load_detects_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        export.write_jsonl(_sample_events(), str(path))
+        assert export.load_events(str(path)) == _sample_events()
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert "empty" in export.summarize([])
+
+    def test_counts_per_kind(self):
+        text = export.summarize(_sample_events())
+        assert "task.end" in text
+        assert "control.tick" in text
+        assert "4 events" in text
+
+
+# ----------------------------------------------------------------------
+# Control audit
+# ----------------------------------------------------------------------
+
+
+def _tick(i, raw, prev, alpha=0.5, min_t=1, max_t=100):
+    smoothed = audit_mod.apply_hysteresis(prev, raw, alpha)
+    return TickRecord(
+        tick=i, phase=audit_mod.PHASE_TICK, elapsed=60.0 * i, progress=None,
+        candidates=(), raw=raw, dead_zone_triggered=False,
+        prev_smoothed=prev, smoothed=smoothed,
+        allocation=audit_mod.quantize_allocation(smoothed, min_t, max_t),
+        predicted_remaining=0.0, utility=0.0,
+    )
+
+
+class TestControlAudit:
+    def test_reconstruction_matches_records(self):
+        records = []
+        prev = None
+        records.append(TickRecord(
+            tick=0, phase=audit_mod.PHASE_INITIAL, elapsed=0.0, progress=0.0,
+            candidates=(), raw=20, dead_zone_triggered=False,
+            prev_smoothed=None, smoothed=20.0, allocation=20,
+            predicted_remaining=0.0, utility=0.0,
+        ))
+        prev = 20.0
+        for i, raw in enumerate((70, 70, 30), start=1):
+            rec = _tick(i, raw, prev)
+            records.append(rec)
+            prev = rec.smoothed
+        replayed = reconstruct_allocations(
+            records, hysteresis=0.5, min_tokens=1, max_tokens=100
+        )
+        assert replayed == [r.allocation for r in records]
+
+    def test_capacity_bounds_records(self):
+        aud = ControlAudit(capacity=2)
+        prev = None
+        for i in range(5):
+            rec = _tick(i, 10, prev)
+            aud.record(rec)
+            prev = rec.smoothed
+        assert len(aud) == 2
+        assert aud.decisions()[-1].tick == 4
+
+    def test_dead_zone_filter(self):
+        aud = ControlAudit()
+        base = _tick(0, 10, None)
+        aud.record(base)
+        aud.record(TickRecord(**{**base.__dict__, "tick": 1,
+                                 "dead_zone_triggered": True}))
+        assert len(aud.dead_zone_ticks()) == 1
+
+
+# ----------------------------------------------------------------------
+# End-to-end: instrumented stack
+# ----------------------------------------------------------------------
+
+
+def _run_small_job():
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.jobs.workloads import mapreduce_job
+    from repro.runtime import JobManager, run_to_completion
+    from repro.simkit.events import Simulator
+    from repro.simkit.random import RngRegistry
+
+    generated = mapreduce_job(num_maps=30, num_reduces=5)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(7))
+    manager = JobManager(
+        cluster, generated.graph, generated.profile,
+        initial_allocation=40, rng=RngRegistry(7).stream("t"),
+    )
+    run_to_completion(manager)
+    return sim, manager
+
+
+class TestEndToEnd:
+    def test_task_lifecycle_events_recorded(self):
+        with trace.capture(capacity=1 << 18) as rec:
+            _sim, manager = _run_small_job()
+        kinds = {e.kind for e in rec.events()}
+        assert {"task.queued", "task.start", "task.end",
+                "tokens.grant", "job.complete"} <= kinds
+        ends = [e for e in rec.events() if e.kind == "task.end"]
+        ok = [e for e in ends if e.fields["outcome"] == "ok"]
+        # every vertex completes exactly once with outcome ok
+        assert len(ok) == manager.graph.num_vertices
+        for e in ok:
+            assert e.fields["end"] >= e.fields["start"]
+
+    def test_disabled_recorder_records_nothing(self):
+        assert trace.RECORDER is NULL
+        _run_small_job()
+        assert trace.RECORDER.events() == []
+
+    def test_task_counters_increment(self):
+        reg = metrics.REGISTRY
+        before = reg.counter(
+            "repro_runtime_tasks_total", labelnames=("outcome",)
+        ).labels(outcome="ok").value
+        _sim, manager = _run_small_job()
+        after = reg.counter(
+            "repro_runtime_tasks_total", labelnames=("outcome",)
+        ).labels(outcome="ok").value
+        assert after - before >= manager.graph.num_vertices
+
+    def test_simulator_publishes_gauges(self):
+        sim, _manager = _run_small_job()
+        reg = MetricsRegistry()
+        sim.publish_metrics(reg)
+        snap = reg.snapshot()
+        assert snap["repro_simkit_events_dispatched"]["values"][""] > 0
+        assert snap["repro_simkit_virtual_time_seconds"]["values"][""] > 0
+        assert "repro_simkit_cancelled_pending" in snap
