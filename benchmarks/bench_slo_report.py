@@ -1,0 +1,47 @@
+"""Benchmark: generating the SLO run report from a finished experiment.
+
+Runs one Jockey-controlled job and saves its full observatory output —
+SLO attainment summary, risk timeline, prediction scorecard, and the
+rendered text report — under ``results/``.  The point is to exercise the
+whole report path at benchmark time (the HTML path is covered by tests)
+and keep a human-readable attainment digest alongside the paper tables.
+"""
+
+import json
+import pathlib
+
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.runner import RunConfig, make_policy, run_experiment
+from repro.experiments.scenarios import trained_job
+from repro.telemetry import report as telemetry_report
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def test_slo_report(scale, save_report):
+    name = "A" if "A" in scale.jobs else scale.jobs[0]
+    tj = trained_job(name, seed=0, scale=scale)
+    result = run_experiment(
+        tj,
+        make_policy("jockey", tj, tj.short_deadline),
+        RunConfig(deadline_seconds=tj.short_deadline, seed=3,
+                  sample_cluster_day=False),
+    )
+    slo = result.slo_report(table=tj.table)
+    run_report = telemetry_report.from_result(result, table=tj.table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    html_path = RESULTS_DIR / "slo-report.html"
+    telemetry_report.write(run_report, str(html_path))
+
+    report = ExperimentReport(
+        experiment_id="slo-report",
+        title=f"SLO attainment for one jockey run of job {name}",
+    )
+    report.add_section(json.dumps(slo.summary(), indent=2, sort_keys=True))
+    report.add_section(telemetry_report.render_text(run_report))
+    report.add_note(f"full HTML report: {html_path}")
+    save_report(report)
+
+    assert slo.duration > 0
+    assert html_path.stat().st_size > 0

@@ -53,7 +53,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AmdahlModel",

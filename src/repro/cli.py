@@ -13,6 +13,13 @@ Commands mirror the operational workflow of the paper's system:
 * ``experiment`` — regenerate one of the paper's tables/figures.
 * ``list-experiments`` — enumerate the available experiment ids.
 * ``trace summarize <file>`` — per-kind table for a recorded trace.
+* ``report <file>`` — SLO attainment report (verdict, margin, risk
+  timeline, prediction scorecard) from a recorded trace; ``--out x.html``
+  renders the self-contained HTML version.
+
+``run`` can additionally serve live Prometheus metrics while it executes
+(``--serve-metrics PORT``) and write the same SLO report for the run it
+just finished (``--report-out PATH``).
 
 Exit codes: 0 success, 1 runtime failure (or a missed deadline for
 ``run``), 2 argument/usage errors.
@@ -130,6 +137,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-capacity", type=int, default=1 << 18,
         help="trace ring-buffer size in events (default: 262144)",
     )
+    run.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write a self-contained SLO run report (HTML for .html/.htm, "
+             "plain text otherwise)",
+    )
+    run.add_argument(
+        "--serve-metrics", type=int, default=None, metavar="PORT",
+        help="serve /metrics (Prometheus text format) and /healthz on this "
+             "port for the duration of the command (0 picks a free port)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one of the paper's tables/figures"
@@ -148,6 +165,33 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="print a per-kind event table"
     )
     summarize.add_argument("file", help="trace file (Chrome JSON or JSONL)")
+
+    report = sub.add_parser(
+        "report", help="build an SLO run report from a recorded trace"
+    )
+    report.add_argument(
+        "file", help="trace file from `repro run --trace-out/--trace-jsonl`"
+    )
+    report.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the report here (HTML for .html/.htm, text otherwise); "
+             "default prints text to stdout",
+    )
+    report.add_argument(
+        "--bundle", default=None,
+        help="job bundle whose C(p, a) table turns the risk timeline from "
+             "a binary margin check into real miss probabilities",
+    )
+    report.add_argument(
+        "--deadline-minutes", type=float, default=None,
+        help="deadline override for traces recorded before job.complete "
+             "events carried one",
+    )
+    report.add_argument(
+        "--slack", type=float, default=ControlConfig().slack,
+        help="controller slack baked into the trace's recorded predictions "
+             "(default: the paper's %(default)s)",
+    )
     return parser
 
 
@@ -225,6 +269,21 @@ def cmd_run(args, out) -> int:
     indicator = totalwork_with_q(profile)
     policy = _build_policy(args.policy, table, indicator, profile, deadline)
 
+    server = None
+    if args.serve_metrics is not None:
+        from repro.telemetry.exposition import MetricsServer
+
+        server = MetricsServer(port=args.serve_metrics)
+        port = server.start()
+        out.write(f"serving metrics at http://127.0.0.1:{port}/metrics\n")
+    try:
+        return _run_job(args, out, graph, profile, table, policy, deadline)
+    finally:
+        if server is not None:
+            server.stop()
+
+
+def _run_job(args, out, graph, profile, table, policy, deadline: float) -> int:
     want_trace = args.trace_out or args.trace_jsonl
     if args.metrics_out:
         # Per-run metrics: zero the registry so the snapshot covers this
@@ -288,9 +347,25 @@ def cmd_run(args, out) -> int:
     if args.metrics_out:
         sim.publish_metrics()
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            json.dump(telemetry_metrics.REGISTRY.snapshot(), fh, indent=2)
+            # sort_keys on top of the registry's own ordering: snapshots of
+            # the same run are byte-identical regardless of creation order.
+            json.dump(telemetry_metrics.REGISTRY.snapshot(), fh, indent=2,
+                      sort_keys=True)
             fh.write("\n")
         out.write(f"  wrote metrics snapshot to {args.metrics_out}\n")
+    if args.report_out:
+        from repro.telemetry import report as telemetry_report
+
+        controller = getattr(policy, "controller", None)
+        audit = getattr(controller, "audit", None)
+        records = audit.decisions() if audit is not None else []
+        slack = controller.config.slack if controller is not None else 1.0
+        run_report = telemetry_report.from_audit_and_trace(
+            trace, records, policy=args.policy, table=table, slack=slack,
+            title=f"{graph.name} / {args.policy}",
+        )
+        fmt = telemetry_report.write(run_report, args.report_out)
+        out.write(f"  wrote {fmt} report to {args.report_out}\n")
     return 0 if trace.met_deadline() else 1
 
 
@@ -315,13 +390,61 @@ def cmd_list_experiments(out) -> int:
     return 0
 
 
-def cmd_trace(args, out) -> int:
+def _load_trace_events(path: str, out):
+    """Shared trace loading for ``trace summarize`` and ``report``: returns
+    the events, or None after printing why (missing/corrupt/empty file)."""
     try:
-        events = telemetry_export.load_events(args.file)
+        events = telemetry_export.load_events(path)
     except (OSError, telemetry_export.ExportError) as exc:
         out.write(f"error: cannot read trace: {exc}\n")
+        return None
+    if not events:
+        out.write(
+            f"error: {path} contains no trace events — the file is empty or "
+            "the capture was truncated before anything was recorded; re-run "
+            "with --trace-out (and a larger --trace-capacity if it "
+            "overflowed)\n"
+        )
+        return None
+    return events
+
+
+def cmd_trace(args, out) -> int:
+    events = _load_trace_events(args.file, out)
+    if events is None:
         return 1
     out.write(telemetry_export.summarize(events))
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.telemetry import report as telemetry_report
+
+    events = _load_trace_events(args.file, out)
+    if events is None:
+        return 1
+    table = None
+    if args.bundle:
+        try:
+            _graph, _profile, table = persist.load_bundle(args.bundle)
+        except (OSError, persist.PersistError) as exc:
+            out.write(f"error: cannot load bundle: {exc}\n")
+            return 2
+    deadline = (
+        args.deadline_minutes * 60.0 if args.deadline_minutes is not None else None
+    )
+    try:
+        run_report = telemetry_report.from_trace_events(
+            events, deadline=deadline, table=table, slack=args.slack
+        )
+    except telemetry_report.ReportError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    if args.out:
+        fmt = telemetry_report.write(run_report, args.out)
+        out.write(f"wrote {fmt} report to {args.out}\n")
+    else:
+        out.write(telemetry_report.render_text(run_report))
     return 0
 
 
@@ -347,6 +470,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_list_experiments(out)
         if args.command == "trace":
             return cmd_trace(args, out)
+        if args.command == "report":
+            return cmd_report(args, out)
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         out.write(f"error: {type(exc).__name__}: {exc}\n")
         return 1

@@ -152,6 +152,40 @@ class CpaTable:
         """Predicted full-job latency at a steady allocation: C(0, a)."""
         return self.remaining(0.0, allocation, q=q)
 
+    def exceedance(
+        self, progress: float, allocation: float, threshold: float
+    ) -> float:
+        """``P(C(p, a) > threshold)``: the fraction of simulated
+        remaining-time samples above ``threshold``, interpolated linearly
+        between grid allocations (clamped outside the grid, like
+        :meth:`remaining`).  With ``threshold`` set to the time left until
+        the deadline, this is the per-tick probability of missing it — the
+        deadline-risk signal the SLO analytics report."""
+        if allocation <= 0:
+            raise CpaError(f"allocation must be positive, got {allocation!r}")
+        idx = self._bin_index(progress)
+
+        def frac_above(a: int) -> float:
+            data = self._columns[a].bins[idx]
+            if data.size == 0:
+                raise CpaError(f"empty progress bin {idx}")
+            pos = int(np.searchsorted(data, threshold, side="right"))
+            return (data.size - pos) / data.size
+
+        grid = self.allocations
+        if allocation <= grid[0]:
+            return frac_above(grid[0])
+        if allocation >= grid[-1]:
+            return frac_above(grid[-1])
+        hi_pos = bisect.bisect_left(grid, allocation)
+        lo_a, hi_a = grid[hi_pos - 1], grid[hi_pos]
+        lo_v = frac_above(lo_a)
+        if lo_a == allocation:
+            return lo_v
+        hi_v = frac_above(hi_a)
+        w = (allocation - lo_a) / (hi_a - lo_a)
+        return lo_v * (1 - w) + hi_v * w
+
     def min_allocation_for(
         self, budget_seconds: float, *, q: float = 0.9
     ) -> Optional[int]:

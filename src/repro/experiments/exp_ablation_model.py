@@ -24,10 +24,11 @@ from typing import List
 import numpy as np
 
 from repro.experiments.metrics import RunMetrics
-from repro.experiments.reporting import ExperimentReport
+from repro.experiments.reporting import ExperimentReport, scorecard_section
 from repro.experiments.runner import RunConfig, make_policy, run_experiment
 from repro.experiments.scenarios import DEFAULT, Scale, trained_jobs
 from repro.simkit.random import derive_seed
+from repro.telemetry import scorecard as tscorecard
 
 SCALE_FACTORS = (1.0, 1.2, 1.4, 1.6)
 POLICIES = ("jockey", "jockey-online-model", "jockey-no-adapt")
@@ -50,6 +51,7 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, reps: int = 2):
         ],
     )
     jobs = trained_jobs(seed=seed, scale=scale)
+    heavy_cards: dict = {k: [] for k in POLICIES}
     for factor in SCALE_FACTORS:
         for kind in POLICIES:
             runs: List[RunMetrics] = []
@@ -70,6 +72,17 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, reps: int = 2):
                         ),
                     )
                     runs.append(result.metrics)
+                    if (
+                        factor == SCALE_FACTORS[-1]
+                        and result.audit_records
+                        and result.control_config is not None
+                    ):
+                        heavy_cards[kind].append(tscorecard.from_audit(
+                            result.audit_records,
+                            result.trace.duration,
+                            name=kind,
+                            slack=result.control_config.slack,
+                        ))
             rel = [100.0 * m.relative_latency for m in runs]
             report.add_row(
                 f"{factor:.1f}x",
@@ -80,6 +93,18 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, reps: int = 2):
                 float(np.percentile(rel, 90)),
                 100.0 * float(np.mean([m.impact_above_oracle for m in runs])),
             )
+    section = scorecard_section(
+        [
+            tscorecard.merge(kind, cards)
+            for kind, cards in heavy_cards.items()
+            if cards
+        ],
+        caption=f"Prediction scorecards at {SCALE_FACTORS[-1]:.1f}x input "
+                "(model correction should shrink the optimistic bias plain "
+                "jockey shows under divergence)",
+    )
+    if section:
+        report.add_section(section)
     report.add_note(
         "expected: identical at 1.0x; under heavy inputs the online-model "
         "variant reacts earlier, missing fewer deadlines than plain jockey "

@@ -23,9 +23,32 @@ from repro.experiments.metrics import (
     percentiles,
     summarize_policy,
 )
-from repro.experiments.reporting import ExperimentReport
+from repro.experiments.reporting import ExperimentReport, scorecard_section
 from repro.experiments.runner import POLICY_KINDS, ExperimentResult, run_suite
 from repro.experiments.scenarios import DEFAULT, Scale, trained_jobs
+from repro.telemetry import scorecard as tscorecard
+
+
+def policy_scorecards(results: Sequence[ExperimentResult]) -> List:
+    """One pooled scorecard per adaptive policy: every run's audit-trail
+    predictions joined against that run's realized remaining time."""
+    cards = []
+    for kind in POLICY_KINDS:
+        per_run = [
+            tscorecard.from_audit(
+                r.audit_records,
+                r.trace.duration,
+                name=kind,
+                slack=r.control_config.slack,
+            )
+            for r in results
+            if r.metrics.policy == kind
+            and r.audit_records
+            and r.control_config is not None
+        ]
+        if per_run:
+            cards.append(tscorecard.merge(kind, per_run))
+    return cards
 
 
 def run_policy_comparison(
@@ -67,6 +90,13 @@ def fig4_report(results: Sequence[ExperimentResult]) -> ExperimentReport:
             100.0 * s.mean_impact_above_oracle,
             100.0 * s.mean_latency_vs_deadline,
         )
+    section = scorecard_section(
+        policy_scorecards(results),
+        caption="Prediction scorecards (per-tick predicted vs realized "
+                "remaining time, pooled over all runs)",
+    )
+    if section:
+        report.add_section(section)
     report.add_note(
         "paper: jockey ~1% missed / ~35% above oracle; no-adapt ~18% missed; "
         "no-sim ~16% missed / lowest impact; max-allocation 0% missed / "

@@ -19,9 +19,17 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.cluster import ClusterConfig, LoadEpisode
-from repro.experiments.reporting import ExperimentReport, sparkline
+from repro.experiments.reporting import ExperimentReport, scorecard_section, sparkline
 from repro.experiments.runner import ExperimentResult, RunConfig, make_policy, run_experiment
 from repro.experiments.scenarios import DEFAULT, Scale, trained_job
+from repro.telemetry import scorecard as tscorecard
+
+
+def _case_card(label: str, result: ExperimentResult):
+    slack = result.control_config.slack if result.control_config else 1.0
+    return tscorecard.from_audit(
+        result.audit_records, result.trace.duration, name=label, slack=slack
+    )
 
 
 def _series_text(label: str, series: List[Tuple[float, float]]) -> str:
@@ -179,6 +187,17 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0):
     report.add_section(
         _describe(res_c, f"(c) job {job_c}, light input: policy releases tokens")
     )
+    section = scorecard_section(
+        [
+            _case_card(f"(a) {job_a} overload", res_a),
+            _case_card(f"(b) {job_b} slow stage", res_b),
+            _case_card(f"(c) {job_c} light input", res_c),
+        ],
+        caption="Controller prediction scorecards for the three case studies "
+                "(divergence from the trained model shows up as bias)",
+    )
+    if section:
+        report.add_section(section)
     report.add_note(
         "paper Fig. 6: (a) resources added early under overload, finishing "
         "just past the deadline; (b) allocation raised when a stage drags; "

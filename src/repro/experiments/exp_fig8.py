@@ -21,10 +21,11 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.amdahl import AmdahlModel
-from repro.experiments.reporting import ExperimentReport
+from repro.experiments.reporting import ExperimentReport, scorecard_section
 from repro.experiments.runner import RunConfig, run_experiment
 from repro.experiments.scenarios import DEFAULT, Scale, trained_jobs
 from repro.core.policies import MaxAllocationPolicy
+from repro.telemetry import scorecard as tscorecard
 
 ALLOCATIONS = (20, 30, 40, 50, 60, 70, 80, 90, 100)
 
@@ -37,6 +38,8 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, runs_per_allocation: int = 3):
     jobs = trained_jobs(seed=seed, scale=scale)
     sim_errors: Dict[int, List[float]] = {a: [] for a in allocations}
     amdahl_errors: Dict[int, List[float]] = {a: [] for a in allocations}
+    sim_cards: List[tscorecard.Scorecard] = []
+    amdahl_cards: List[tscorecard.Scorecard] = []
     for name, tj in jobs.items():
         amdahl = AmdahlModel(tj.learned_profile)
         for a in allocations:
@@ -59,6 +62,14 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, runs_per_allocation: int = 3):
             amdahl_pred = amdahl.predicted_duration(a)
             sim_errors[a].append(abs(sim_pred - slowest) / slowest)
             amdahl_errors[a].append(abs(amdahl_pred - slowest) / slowest)
+            # End-to-end predictions as one-point scorecards (elapsed 0,
+            # realized remaining = the slowest actual), pooled per model.
+            sim_cards.append(tscorecard.Scorecard.from_predictions(
+                "simulator", [(0.0, sim_pred)], slowest
+            ))
+            amdahl_cards.append(tscorecard.Scorecard.from_predictions(
+                "amdahl", [(0.0, amdahl_pred)], slowest
+            ))
 
     report = ExperimentReport(
         experiment_id="fig8",
@@ -74,6 +85,16 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, runs_per_allocation: int = 3):
     all_sim = [e for v in sim_errors.values() for e in v]
     all_amdahl = [e for v in amdahl_errors.values() for e in v]
     report.add_row("average", 100.0 * float(np.mean(all_sim)), 100.0 * float(np.mean(all_amdahl)))
+    section = scorecard_section(
+        [
+            tscorecard.merge("simulator", sim_cards),
+            tscorecard.merge("amdahl", amdahl_cards),
+        ],
+        caption="End-to-end prediction scorecards (signed bias + error "
+                "distribution over jobs x allocations, worst-case runs)",
+    )
+    if section:
+        report.add_section(section)
     report.add_note(
         "paper: simulator 9.8% avg, Amdahl 11.8% avg with high error at low "
         "allocations"

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.progress import INDICATOR_NAMES
-from repro.experiments.reporting import ExperimentReport, sparkline
+from repro.experiments.reporting import ExperimentReport, scorecard_section, sparkline
+from repro.telemetry.scorecard import Scorecard
 from repro.experiments.scenarios import DEFAULT, Scale, TrainedJob, trained_job, trained_jobs
 from repro.runtime.jobmanager import JobManager, run_to_completion
 from repro.simkit.events import Simulator
@@ -143,6 +144,26 @@ def run(scale: Scale = DEFAULT, *, seed: int = 0, allocation: int = 40):
             100.0 * float(np.mean([d for d, _l in pairs])),
             100.0 * float(np.mean([l for _d, l in pairs])),
         )
+    # Scorecards generalize Fig. 10: each indicator's completion-time
+    # estimates T_t on the focus job become remaining-time predictions
+    # (T_t - t), judged against the realized remaining time.
+    indicator_cards = []
+    for kind in INDICATOR_NAMES:
+        _d, _l, _p, estimates = indicator_quality(
+            focus, kind, samples, duration, allocation=allocation
+        )
+        indicator_cards.append(Scorecard.from_predictions(
+            kind,
+            [(t, est - t) for (t, _f), est in zip(samples, estimates)],
+            duration,
+        ))
+    section = scorecard_section(
+        indicator_cards,
+        caption=f"Indicator scorecards on job {focus_name} (remaining-time "
+                "error of each indicator's C(p, a) estimate)",
+    )
+    if section:
+        fig10.add_section(section)
     fig10.add_note(
         "paper: totalworkWithQ 2.0%/8.5%; totalwork 2.3%/9.3%; vertexfrac "
         "2.2%/10.1%; cp 3.0%/15.2%; minstage 3.3%/19.9%; minstage-inf "

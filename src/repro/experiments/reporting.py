@@ -96,6 +96,22 @@ class ExperimentReport:
         return self.render()
 
 
+def scorecard_section(
+    cards: Sequence,
+    *,
+    caption: str = "Prediction scorecards (predicted vs realized remaining time)",
+) -> str:
+    """Render :class:`~repro.telemetry.scorecard.Scorecard`\\ s as an extra
+    report section (empty string when there are none, so callers can
+    ``add_section`` unconditionally only after checking)."""
+    from repro.telemetry.scorecard import SCORECARD_HEADERS, scorecard_rows
+
+    cards = [c for c in cards if c.ticks]
+    if not cards:
+        return ""
+    return caption + ":\n" + ascii_table(list(SCORECARD_HEADERS), scorecard_rows(cards))
+
+
 def sparkline(values: Sequence[float], width: int = 60) -> str:
     """A coarse text sparkline for time series (Fig. 6/7 renderings)."""
     if not values:
@@ -114,5 +130,6 @@ __all__ = [
     "ascii_cdf",
     "ascii_table",
     "format_cell",
+    "scorecard_section",
     "sparkline",
 ]

@@ -100,11 +100,37 @@ class ExperimentResult:
     #: (minute, raw controller allocation) for adaptive policies.
     raw_series: List[Tuple[float, int]] = field(default_factory=list)
     final_deadline: float = 0.0
+    #: The deadline the run *started* with; differs from ``final_deadline``
+    #: only when ``RunConfig.deadline_changes`` rewrote it mid-run.
+    initial_deadline: float = 0.0
+    #: Scripted mid-run deadline changes, as configured.
+    deadline_changes: Tuple[Tuple[float, float], ...] = ()
+    #: The adaptive policy's control configuration (None for static ones);
+    #: SLO analytics need its ``slack`` to judge predictions pre-slack.
+    control_config: Optional[ControlConfig] = None
     #: Structured events captured when ``RunConfig.capture_trace`` was set.
     trace_events: List[TraceEvent] = field(default_factory=list)
     #: The controller's per-tick decision audit (empty for non-controller
     #: policies): progress, candidate predictions, raw/dead-zone/hysteresis.
     audit_records: List[TickRecord] = field(default_factory=list)
+
+    def slo_report(self, *, table=None):
+        """SLO attainment for this run, computed from its own artifacts
+        (see :func:`repro.telemetry.slo.analyze_run`).  Pass the job's
+        C(p, a) table to get a real per-tick risk timeline; without one the
+        timeline degrades to the binary margin check."""
+        from repro.telemetry.slo import analyze_run
+
+        slack = self.control_config.slack if self.control_config is not None else 1.0
+        return analyze_run(
+            self.trace,
+            self.audit_records,
+            policy=self.metrics.policy,
+            deadline=self.initial_deadline or self.trace.deadline,
+            table=table,
+            slack=slack,
+            schedule=self.deadline_changes,
+        )
 
 
 def run_experiment(
@@ -197,6 +223,9 @@ def run_experiment(
         running_series=[(t / 60.0, r) for t, r in trace.running_timeline],
         raw_series=raw_series,
         final_deadline=final_deadline,
+        initial_deadline=config.deadline_seconds,
+        deadline_changes=tuple(config.deadline_changes),
+        control_config=getattr(controller, "config", None),
         trace_events=trace_events,
         audit_records=audit.decisions() if audit is not None else [],
     )

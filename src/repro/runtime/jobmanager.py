@@ -543,6 +543,7 @@ class JobManager:
                      tasks=self._completed_tasks,
                      duplicates_launched=self.duplicates_launched,
                      duplicates_won=self.duplicates_won,
+                     deadline=self.trace.deadline,
                      start=self.start_time, end=self.sim.now)
         self._update_demand()
         self.cluster.pool.set_guaranteed(self.name, 0)

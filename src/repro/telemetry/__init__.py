@@ -1,6 +1,6 @@
 """repro.telemetry — observability for the whole simulator stack.
 
-Four pieces, each usable alone:
+Collection (each usable alone):
 
 * :mod:`repro.telemetry.metrics` — Counter/Gauge/Histogram instruments
   with labels and a process-wide default :data:`~repro.telemetry.metrics.REGISTRY`.
@@ -11,6 +11,17 @@ Four pieces, each usable alone:
 * :mod:`repro.telemetry.audit` — the control loop's per-tick decision
   trail, reconstructible raw → hysteresis → applied.
 
+Analysis & exposition (built on the collectors):
+
+* :mod:`repro.telemetry.slo` — per-run SLO attainment and the per-tick
+  deadline-risk timeline from the audit trail.
+* :mod:`repro.telemetry.scorecard` — predicted-vs-realized remaining-time
+  error distributions for any predictor or progress indicator.
+* :mod:`repro.telemetry.exposition` — Prometheus text-format rendering and
+  a live ``/metrics`` + ``/healthz`` endpoint.
+* :mod:`repro.telemetry.report` — self-contained HTML (or text) run
+  reports: verdict, timelines, risk, scorecards.
+
 Metric names follow ``repro_<layer>_<name>`` (see README "Observability").
 """
 
@@ -19,6 +30,12 @@ from repro.telemetry.audit import (
     ControlAudit,
     TickRecord,
     reconstruct_allocations,
+)
+from repro.telemetry.exposition import (
+    CONTENT_TYPE,
+    MetricsServer,
+    parse_prometheus,
+    render_prometheus,
 )
 from repro.telemetry.export import (
     load_events,
@@ -34,6 +51,9 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     default_registry,
 )
+from repro.telemetry.report import RunReport, render_html, render_text
+from repro.telemetry.scorecard import Scorecard
+from repro.telemetry.slo import RiskPoint, SloAttainment, analyze_run, risk_timeline
 from repro.telemetry.trace import (
     NullRecorder,
     TraceEvent,
@@ -45,23 +65,35 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "CONTENT_TYPE",
     "CandidateEval",
     "ControlAudit",
     "MetricError",
     "MetricsRegistry",
+    "MetricsServer",
     "NullRecorder",
     "REGISTRY",
+    "RiskPoint",
+    "RunReport",
+    "Scorecard",
+    "SloAttainment",
     "TickRecord",
     "TraceEvent",
     "TraceRecorder",
+    "analyze_run",
     "capture",
     "default_registry",
     "disable",
     "get_recorder",
     "install",
     "load_events",
+    "parse_prometheus",
     "read_jsonl",
     "reconstruct_allocations",
+    "render_html",
+    "render_prometheus",
+    "render_text",
+    "risk_timeline",
     "summarize",
     "to_chrome_trace",
     "write_chrome_trace",

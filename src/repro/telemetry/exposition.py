@@ -1,0 +1,266 @@
+"""Prometheus text-format exposition and a live ``/metrics`` endpoint.
+
+:func:`render_prometheus` renders a :class:`~repro.telemetry.metrics.MetricsRegistry`
+in the Prometheus text format (version 0.0.4): ``# HELP`` / ``# TYPE``
+comments, one sample per line, histograms expanded to cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``.  Output is fully
+deterministic — metrics sorted by name, label sets sorted by value — so
+exposition diffs are stable across runs.
+
+:class:`MetricsServer` serves that rendering over stdlib ``http.server``
+on ``/metrics`` (plus a ``/healthz`` liveness probe) from a daemon thread,
+so a long experiment sweep can be scraped while it runs
+(``repro run --serve-metrics PORT``).  The simulator mutates the registry
+from the main thread while the server thread reads; individual metric
+values are plain floats guarded by the GIL, and a scrape is a monotonic
+point-in-time read, which is exactly the consistency Prometheus expects.
+
+:func:`parse_prometheus` is a strict line-grammar parser used by tests to
+assert the rendering stays valid, and handy for scripted scraping.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry import metrics as _metrics
+
+#: The content type Prometheus scrapers expect for text format 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ExpositionError(ValueError):
+    """Raised when exposition text does not match the format grammar."""
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    # Integral floats render without the trailing ".0" (Prometheus style).
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _label_string(pairs: Tuple[Tuple[str, str], ...]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: Optional[_metrics.MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text format 0.0.4 (deterministic)."""
+    reg = registry if registry is not None else _metrics.REGISTRY
+    lines: List[str] = []
+    for name in reg.names():
+        metric = reg.get(name)
+        if metric.help:
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        for pairs, child in metric.children():
+            if metric.kind == "histogram":
+                snap = child.snapshot()
+                for bound, cumulative in snap["buckets"].items():
+                    bucket_pairs = pairs + (("le", bound),)
+                    lines.append(
+                        f"{name}_bucket{_label_string(bucket_pairs)} "
+                        f"{_format_value(float(cumulative))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_string(pairs)} "
+                    f"{_format_value(snap['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_label_string(pairs)} "
+                    f"{_format_value(float(snap['count']))}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_string(pairs)} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Grammar parser (strict; used to validate the rendering)
+# ----------------------------------------------------------------------
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.*)$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})"
+    r"(?:\{([a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(?:,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*)\})?"
+    r" ([^ ]+)(?: (-?[0-9]+))?$"
+)
+_VALUE_RE = re.compile(
+    r"^(?:[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)|\+Inf|-Inf|NaN)$"
+)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse text-format exposition; raises :class:`ExpositionError` on any
+    line that violates the grammar.  Returns
+    ``{sample_name: {label_string: value}}`` (label string as written,
+    ``""`` for bare samples)."""
+    samples: Dict[str, Dict[str, float]] = {}
+    typed: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                if not _HELP_RE.match(line):
+                    raise ExpositionError(f"line {lineno}: bad HELP: {line!r}")
+            elif line.startswith("# TYPE "):
+                match = _TYPE_RE.match(line)
+                if not match:
+                    raise ExpositionError(f"line {lineno}: bad TYPE: {line!r}")
+                typed[match.group(1)] = match.group(2)
+            # other comments are legal and ignored
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ExpositionError(f"line {lineno}: bad sample: {line!r}")
+        name, labels, value, _ts = match.groups()
+        if not _VALUE_RE.match(value):
+            raise ExpositionError(f"line {lineno}: bad value {value!r}")
+        parsed = {
+            "+Inf": float("inf"),
+            "-Inf": float("-inf"),
+            "NaN": float("nan"),
+        }.get(value)
+        samples.setdefault(name, {})[labels or ""] = (
+            parsed if parsed is not None else float(value)
+        )
+    return samples
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoint
+# ----------------------------------------------------------------------
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.server.registry).encode("utf-8")
+            self._respond(200, CONTENT_TYPE, body)
+        elif path == "/healthz":
+            payload = {
+                "status": "ok",
+                "metrics": len(self.server.registry.names()),
+            }
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+            self._respond(200, "application/json", body)
+        else:
+            self._respond(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _respond(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes must not spam the experiment's stdout
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` endpoint over a registry.
+
+        with MetricsServer(port=0) as server:   # 0 -> ephemeral port
+            print(server.url)                   # http://127.0.0.1:PORT
+            run_long_sweep()
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ):
+        self._host = host
+        self._requested_port = port
+        self._registry = (
+            registry if registry is not None else _metrics.REGISTRY
+        )
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind and serve from a daemon thread; returns the bound port."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        server = ThreadingHTTPServer((self._host, self._requested_port), _Handler)
+        server.daemon_threads = True
+        server.registry = self._registry
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "ExpositionError",
+    "MetricsServer",
+    "parse_prometheus",
+    "render_prometheus",
+]

@@ -217,6 +217,15 @@ class Metric:
         for child in self._children.values():
             child.reset()
 
+    def children(self) -> List[Tuple[Tuple[Tuple[str, str], ...], object]]:
+        """Sorted ``((label, value), ...) -> child`` items for exporters.
+        Sorting by label values (creation order varies run to run) keeps
+        every export — JSON snapshot, Prometheus text — deterministic."""
+        return [
+            (tuple(zip(self.labelnames, key)), child)
+            for key, child in sorted(self._children.items())
+        ]
+
     def snapshot(self) -> Dict[str, object]:
         return {
             "type": self.kind,

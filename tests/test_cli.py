@@ -200,3 +200,88 @@ class TestExperimentCommand:
         code, text = run_cli("experiment", "table2", "--scale", "smoke")
         assert code == 0
         assert "table2" in text
+
+
+class TestObservatory:
+    """The report command, --report-out, --serve-metrics, and the
+    empty-trace guard."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-obs") / "bundle.json"
+        code, _text = run_cli(
+            "train", "--job", "mapreduce", "--out", str(path),
+            "--cpa-reps", "2", "--seed", "4",
+        )
+        assert code == 0
+        return path
+
+    def test_run_writes_html_report(self, bundle, tmp_path):
+        report_path = tmp_path / "run.html"
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--report-out", str(report_path),
+        )
+        assert code == 0
+        assert "wrote html report" in text
+        html = report_path.read_text(encoding="utf-8")
+        assert html.startswith("<!DOCTYPE html>")
+        # Self-contained: no scripts, no external fetches.
+        assert "<script" not in html.lower()
+        assert " src=" not in html
+        assert "href=" not in html
+
+    def test_run_serves_metrics_while_running(self, bundle):
+        # Port 0 asks the OS for a free port; the CLI prints the bound URL.
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--serve-metrics", "0",
+        )
+        assert code == 0
+        assert "serving metrics at http://127.0.0.1:" in text
+
+    def test_metrics_out_is_sorted(self, bundle, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        code, _text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--metrics-out", str(metrics_path),
+        )
+        assert code == 0
+        names = list(json.loads(metrics_path.read_text()))
+        assert names == sorted(names)
+
+    def test_report_command_text_and_html(self, bundle, tmp_path):
+        jsonl = tmp_path / "run.jsonl"
+        code, _text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--trace-jsonl", str(jsonl),
+        )
+        assert code == 0
+
+        code, text = run_cli("report", str(jsonl), "--bundle", str(bundle))
+        assert code == 0
+        assert "MET" in text or "MISSED" in text
+
+        out = tmp_path / "report.html"
+        code, text = run_cli(
+            "report", str(jsonl), "--bundle", str(bundle), "--out", str(out)
+        )
+        assert code == 0
+        assert out.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_report_missing_file(self, tmp_path):
+        code, text = run_cli("report", str(tmp_path / "nope.jsonl"))
+        assert code == 1
+        assert "cannot read" in text
+
+    def test_empty_trace_rejected_with_guidance(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, text = run_cli("trace", "summarize", str(empty))
+        assert code == 1
+        assert "no trace events" in text
+        assert "truncated" in text
+
+        code, text = run_cli("report", str(empty))
+        assert code == 1
+        assert "no trace events" in text

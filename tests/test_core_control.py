@@ -280,3 +280,39 @@ class TestConfigValidation:
         from tests.test_core_cpa import deterministic_profile  # noqa: F401
         with pytest.raises(ControlError):
             CpaPredictor(object(), object(), percentile=2.0)
+
+
+class TestAuditReconstructionMidRunDeadlineChange:
+    """Satellite of the observatory PR: the exp_fig7 scenario (a scripted
+    mid-run deadline change) must leave an audit trail that replays
+    tick-for-tick — the utility swap changes `raw`, and everything after
+    `raw` is pure arithmetic the replay reproduces."""
+
+    def test_full_run_replays_tick_for_tick(self):
+        from repro.experiments.runner import (
+            RunConfig, make_policy, run_experiment,
+        )
+        from repro.experiments.scenarios import SMOKE, trained_job
+        from repro.telemetry.audit import reconstruct_allocations
+
+        tj = trained_job("A", seed=0, scale=SMOKE)
+        policy = make_policy("jockey", tj, tj.long_deadline)
+        # Halve the deadline one control period in: the controller must
+        # re-solve against the new utility, spiking `raw` upward.
+        config = RunConfig(
+            deadline_seconds=tj.long_deadline,
+            seed=13,
+            deadline_changes=((60.0, tj.long_deadline / 2),),
+            sample_cluster_day=False,
+        )
+        result = run_experiment(tj, policy, config)
+        records = result.audit_records
+        assert len(records) >= 2
+        cfg = result.control_config
+        replayed = reconstruct_allocations(
+            records,
+            hysteresis=cfg.hysteresis,
+            min_tokens=cfg.min_tokens,
+            max_tokens=cfg.max_tokens,
+        )
+        assert replayed == [r.allocation for r in records]

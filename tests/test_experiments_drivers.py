@@ -92,7 +92,9 @@ class TestFig6Table3:
         fig6, table3 = exp_fig6_table3.run(SMOKE, seed=0)
         assert_report(fig6, "fig6+table3")
         assert_report(table3, "table3", min_rows=5)
-        assert len(fig6.extra_sections) == 3
+        # Three case-study sections plus the pooled scorecard section.
+        assert len(fig6.extra_sections) == 4
+        assert any("scorecard" in s.lower() for s in fig6.extra_sections)
         # Table 3's work column: reruns need more work than training.
         work_row = next(r for r in table3.rows if "total work" in r[0])
         assert work_row[2] > work_row[1]

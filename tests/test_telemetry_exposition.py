@@ -1,0 +1,154 @@
+"""Tests for Prometheus text exposition and the embedded metrics server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.exposition import (
+    CONTENT_TYPE,
+    ExpositionError,
+    MetricsServer,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_tasks_total", "Tasks seen",
+                    labelnames=("outcome",))
+    c.labels(outcome="ok").inc(3)
+    c.labels(outcome="failed").inc()
+    reg.gauge("repro_test_tokens", "Current tokens").set(42)
+    h = reg.histogram("repro_test_seconds", "Durations",
+                      buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        h.observe(v)
+    return reg
+
+
+class TestRender:
+    def test_help_and_type_lines(self):
+        text = render_prometheus(populated_registry())
+        assert "# HELP repro_test_tasks_total Tasks seen\n" in text
+        assert "# TYPE repro_test_tasks_total counter\n" in text
+        assert "# TYPE repro_test_tokens gauge\n" in text
+        assert "# TYPE repro_test_seconds histogram\n" in text
+
+    def test_labelled_samples(self):
+        text = render_prometheus(populated_registry())
+        assert 'repro_test_tasks_total{outcome="failed"} 1\n' in text
+        assert 'repro_test_tasks_total{outcome="ok"} 3\n' in text
+
+    def test_histogram_cumulative_buckets_and_inf(self):
+        text = render_prometheus(populated_registry())
+        assert 'repro_test_seconds_bucket{le="1.0"} 1\n' in text
+        assert 'repro_test_seconds_bucket{le="10.0"} 2\n' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "repro_test_seconds_sum 55.5\n" in text
+        assert "repro_test_seconds_count 3\n" in text
+
+    def test_deterministic_across_creation_orders(self):
+        a = populated_registry()
+        # Same instruments, registered and labelled in reverse order.
+        b = MetricsRegistry()
+        h = b.histogram("repro_test_seconds", "Durations", buckets=(1.0, 10.0))
+        b.gauge("repro_test_tokens", "Current tokens").set(42)
+        c = b.counter("repro_test_tasks_total", "Tasks seen",
+                      labelnames=("outcome",))
+        c.labels(outcome="failed").inc()
+        c.labels(outcome="ok").inc(3)
+        for v in (50.0, 5.0, 0.5):
+            h.observe(v)
+        assert render_prometheus(a) == render_prometheus(b)
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total", labelnames=("path",))
+        c.labels(path='a"b\\c\nd').inc()
+        text = render_prometheus(reg)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_integral_floats_render_without_point(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_test_g").set(7.0)
+        assert "repro_test_g 7\n" in render_prometheus(reg)
+
+
+class TestParse:
+    def test_roundtrip(self):
+        samples = parse_prometheus(render_prometheus(populated_registry()))
+        assert samples["repro_test_tokens"][""] == 42
+        assert samples["repro_test_tasks_total"]['outcome="ok"'] == 3
+        assert samples["repro_test_seconds_bucket"]['le="+Inf"'] == 3
+        assert samples["repro_test_seconds_count"][""] == 3
+
+    def test_bad_line_rejected_with_line_number(self):
+        with pytest.raises(ExpositionError) as err:
+            parse_prometheus("repro_good 1\nthis is { not valid\n")
+        assert "line 2" in str(err.value)
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus("repro_x notanumber\n")
+
+
+class TestServer:
+    def test_serves_metrics_and_health(self):
+        reg = populated_registry()
+        with MetricsServer(0, registry=reg) as server:
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                assert resp.headers["Content-Type"] == CONTENT_TYPE
+                body = resp.read().decode("utf-8")
+            assert parse_prometheus(body)["repro_test_tokens"][""] == 42
+
+            with urllib.request.urlopen(server.url + "/healthz") as resp:
+                health = json.loads(resp.read())
+            assert health["status"] == "ok"
+
+    def test_scrapes_see_live_updates(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_live_tokens")
+        with MetricsServer(0, registry=reg) as server:
+            def scrape():
+                with urllib.request.urlopen(server.url + "/metrics") as resp:
+                    text = resp.read().decode("utf-8")
+                return parse_prometheus(text)["repro_live_tokens"][""]
+
+            g.set(1)
+            assert scrape() == 1
+            g.set(99)
+            assert scrape() == 99
+
+    def test_unknown_path_404(self):
+        with MetricsServer(0, registry=MetricsRegistry()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/nope")
+            assert err.value.code == 404
+
+    def test_stop_closes_port(self):
+        server = MetricsServer(0, registry=MetricsRegistry())
+        url = server.start() and server.url
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/healthz", timeout=0.5)
+
+
+class TestSnapshotDeterminism:
+    def test_json_snapshot_identical_across_orders(self):
+        a = populated_registry()
+        b = MetricsRegistry()
+        b.gauge("repro_test_tokens", "Current tokens").set(42)
+        c = b.counter("repro_test_tasks_total", "Tasks seen",
+                      labelnames=("outcome",))
+        c.labels(outcome="failed").inc()
+        c.labels(outcome="ok").inc(3)
+        h = b.histogram("repro_test_seconds", "Durations", buckets=(1.0, 10.0))
+        for v in (50.0, 0.5, 5.0):
+            h.observe(v)
+        assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
+            b.snapshot(), sort_keys=True
+        )

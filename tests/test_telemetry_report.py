@@ -1,0 +1,140 @@
+"""Tests for the single-file HTML/text run report.
+
+Acceptance: the report is fully self-contained (no external fetches) and
+every headline number it shows is reproduced exactly by the analysis
+functions run on the same audit records.
+"""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.runner import RunConfig, make_policy, run_experiment
+from repro.experiments.scenarios import SMOKE, trained_job
+from repro.telemetry import report as report_mod
+from repro.telemetry.report import ReportError, RunReport, render_html, render_text
+
+
+@pytest.fixture(scope="module")
+def jockey_run():
+    tj = trained_job("A", seed=0, scale=SMOKE)
+    policy = make_policy("jockey", tj, tj.short_deadline)
+    result = run_experiment(
+        tj,
+        policy,
+        RunConfig(deadline_seconds=tj.short_deadline, seed=7,
+                  capture_trace=True, sample_cluster_day=False),
+    )
+    return tj, result
+
+
+@pytest.fixture(scope="module")
+def html_report(jockey_run):
+    tj, result = jockey_run
+    report = report_mod.from_result(result, table=tj.table)
+    return report, render_html(report)
+
+
+class TestSelfContained:
+    def test_no_external_references(self, html_report):
+        _report, html = html_report
+        assert "<script" not in html.lower()
+        assert " src=" not in html
+        assert "href=" not in html
+        assert "url(" not in html
+        assert "@import" not in html
+
+    def test_svg_figures_parse(self, html_report):
+        _report, html = html_report
+        svgs = re.findall(r"<svg.*?</svg>", html, re.S)
+        assert len(svgs) >= 2  # allocation + progress at minimum
+        for svg in svgs:
+            ET.fromstring(svg)  # well-formed XML
+
+    def test_dark_mode_styles_present(self, html_report):
+        _report, html = html_report
+        assert "prefers-color-scheme: dark" in html
+
+
+class TestNumbersMatchAnalysis:
+    def test_verdict_and_margin_in_html(self, jockey_run, html_report):
+        tj, result = jockey_run
+        report, html = html_report
+        slo = result.slo_report(table=tj.table)
+        assert report.slo.summary() == slo.summary()
+        assert slo.verdict in html
+        assert f"{slo.duration / 60:.1f}" in html
+
+    def test_scorecard_numbers_in_html(self, html_report):
+        report, html = html_report
+        for card in report.scorecards:
+            if card.ticks:
+                assert f"<td>{card.bias_seconds / 60:.2f}</td>" in html
+                assert f"<td>{card.p90_abs_error / 60:.2f}</td>" in html
+
+    def test_series_come_from_the_run(self, jockey_run, html_report):
+        _tj, result = jockey_run
+        report, _html = html_report
+        assert [a for _t, a in report.allocation_series] == [
+            a for _t, a in result.trace.allocation_timeline
+        ]
+
+
+class TestTextFallback:
+    def test_text_renders_same_verdict(self, jockey_run, html_report):
+        tj, result = jockey_run
+        report, _html = html_report
+        text = render_text(report)
+        slo = result.slo_report(table=tj.table)
+        assert slo.verdict in text
+        assert report.title in text
+
+
+class TestWrite:
+    def test_html_extension_selects_html(self, html_report, tmp_path):
+        report, _html = html_report
+        path = tmp_path / "r.html"
+        assert report_mod.write(report, str(path)) == "html"
+        assert path.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_other_extension_selects_text(self, html_report, tmp_path):
+        report, _html = html_report
+        path = tmp_path / "r.txt"
+        assert report_mod.write(report, str(path)) == "text"
+        assert report.slo.verdict in path.read_text(encoding="utf-8")
+
+
+class TestFromTraceEvents:
+    def test_reproduces_run_from_events_alone(self, jockey_run):
+        tj, result = jockey_run
+        rebuilt = report_mod.from_trace_events(
+            result.trace_events, policy="jockey", table=tj.table,
+            slack=result.control_config.slack,
+        )
+        direct = result.slo_report(table=tj.table)
+        assert rebuilt.slo.verdict == direct.verdict
+        assert rebuilt.slo.duration == pytest.approx(direct.duration)
+        assert rebuilt.slo.deadline == pytest.approx(direct.deadline)
+        assert rebuilt.slo.cpu_seconds == pytest.approx(direct.cpu_seconds)
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(ReportError):
+            report_mod.from_trace_events([], policy="jockey")
+
+    def test_rebuilt_report_renders(self, jockey_run):
+        tj, result = jockey_run
+        rebuilt = report_mod.from_trace_events(
+            result.trace_events, policy="jockey", table=tj.table,
+            slack=result.control_config.slack,
+        )
+        html = render_html(rebuilt)
+        assert rebuilt.slo.verdict in html
+
+
+class TestRunReportShape:
+    def test_is_plain_dataclass(self, html_report):
+        report, _html = html_report
+        assert isinstance(report, RunReport)
+        assert report.slo is not None
+        assert report.notes  # from_result always records runtime scale
