@@ -1,0 +1,120 @@
+"""C(p, a) build benchmark: serial vs process-pool fan-out.
+
+Model building is ``|allocations| x reps`` independent simulations, so it
+should scale with cores.  This benchmark times the same build at one and
+four workers, checks the tables come out bit-identical (worker-count
+invariance is the contract that makes the fan-out safe), and saves a JSON
+digest under ``results/`` with the host's core count for context.
+
+The speedup assertion only fires on hosts with >= 4 cores: on smaller
+machines (CI sandboxes, laptops on power-save) the digest still records
+the honest numbers, and the identity check still guards correctness.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.cpa import CpaTable
+from repro.core.progress import totalwork
+from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
+from repro.jobs.profiles import JobProfile, StageProfile
+from repro.simkit.distributions import LogNormal, Uniform, WithOutliers
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: Required parallel speedup at 4 workers, on hosts that have the cores.
+MIN_PARALLEL_SPEEDUP = 2.5
+
+BUILD_KWARGS = dict(
+    allocations=(5, 10, 20, 40),
+    reps=16,
+    num_bins=50,
+    sample_dt=5.0,
+    seed=99,
+)
+
+
+def bench_profile() -> JobProfile:
+    """A mid-size stochastic job: enough tasks that each simulation unit
+    does real work, small enough that the serial build stays seconds."""
+    graph = JobGraph(
+        "bench",
+        [Stage("extract", 2500), Stage("join", 800), Stage("aggregate", 80)],
+        [
+            Edge("extract", "join", EdgeType.ALL_TO_ALL),
+            Edge("join", "aggregate", EdgeType.ALL_TO_ALL),
+        ],
+    )
+    return JobProfile(
+        graph,
+        {
+            "extract": StageProfile(
+                "extract",
+                runtime=WithOutliers(LogNormal(3.0, 0.35), 0.05, 4.0),
+                init=Uniform(0.5, 2.0),
+                failure_prob=0.02,
+            ),
+            "join": StageProfile(
+                "join", runtime=LogNormal(3.4, 0.3), failure_prob=0.01
+            ),
+            "aggregate": StageProfile(
+                "aggregate", runtime=Uniform(20.0, 45.0)
+            ),
+        },
+    )
+
+
+def _build(jobs: int) -> tuple:
+    profile = bench_profile()
+    start = time.perf_counter()
+    table = CpaTable.build(profile, totalwork(profile), jobs=jobs, **BUILD_KWARGS)
+    return time.perf_counter() - start, table
+
+
+def _tables_identical(a: CpaTable, b: CpaTable) -> bool:
+    if a.allocations != b.allocations:
+        return False
+    for alloc in a.allocations:
+        for ba, bb in zip(a._columns[alloc].bins, b._columns[alloc].bins):
+            if not np.array_equal(ba, bb):
+                return False
+    return True
+
+
+def test_parallel_build_speedup_and_identity():
+    serial_s, serial_table = _build(jobs=1)
+    parallel_s, parallel_table = _build(jobs=4)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+
+    assert _tables_identical(serial_table, parallel_table), (
+        "parallel build diverged from serial — worker-count invariance broken"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    digest = {
+        "benchmark": "cpa_build",
+        "cpu_count": cores,
+        "units": len(BUILD_KWARGS["allocations"]) * BUILD_KWARGS["reps"],
+        "serial_seconds": round(serial_s, 4),
+        "parallel4_seconds": round(parallel_s, 4),
+        "speedup_at_4_workers": round(speedup, 3),
+        "tables_identical": True,
+        "speedup_asserted": cores >= 4,
+        "min_required_speedup": MIN_PARALLEL_SPEEDUP,
+    }
+    (RESULTS_DIR / "bench_cpa_build.json").write_text(
+        json.dumps(digest, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\nC(p, a) build: serial {serial_s:.2f}s, 4 workers "
+          f"{parallel_s:.2f}s ({speedup:.2f}x on {cores} cores)")
+
+    if cores >= 4:
+        assert speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"expected >= {MIN_PARALLEL_SPEEDUP}x at 4 workers on a "
+            f"{cores}-core host, measured {speedup:.2f}x"
+        )

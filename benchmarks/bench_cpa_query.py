@@ -1,0 +1,137 @@
+"""C(p, a) query benchmark: O(1) presorted lookups vs per-call np.quantile.
+
+Before the vectorization pass, every ``remaining()`` call re-ran
+``np.quantile`` over the raw sample bins — twice when the allocation fell
+between grid points.  The columns now presort their samples at build time
+so a quantile is index arithmetic.  This benchmark replays the seed
+implementation against the same table and asserts the new per-call path
+is at least 5x faster; it also times the batched ``remaining_curve``
+against the equivalent scalar loop (the control loop's allocation scan).
+"""
+
+import bisect
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.cpa import CpaTable
+from repro.core.progress import totalwork
+
+from bench_cpa_build import bench_profile
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+MIN_QUERY_SPEEDUP = 5.0
+
+QS = (0.1, 0.5, 0.6, 0.9)
+PROGRESS = tuple(i / 20 for i in range(20))
+ROUNDS = 12
+
+
+def _baseline_remaining(table, progress, allocation, q):
+    """The pre-optimization algorithm: np.quantile over the raw bin per
+    query, with the same clamp/bisect interpolation across allocations."""
+    idx = table._bin_index(progress)
+
+    def qv(a):
+        return float(np.quantile(table._columns[a].bins[idx], q))
+
+    grid = table.allocations
+    allocation = float(allocation)
+    if allocation <= grid[0]:
+        return qv(grid[0])
+    if allocation >= grid[-1]:
+        return qv(grid[-1])
+    hi_pos = bisect.bisect_left(grid, allocation)
+    lo_a, hi_a = grid[hi_pos - 1], grid[hi_pos]
+    if hi_a == allocation:
+        return qv(hi_a)
+    lo_v, hi_v = qv(lo_a), qv(hi_a)
+    w = (allocation - lo_a) / (hi_a - lo_a)
+    return lo_v + (hi_v - lo_v) * w
+
+
+def test_query_speedup_vs_np_quantile():
+    profile = bench_profile()
+    table = CpaTable.build(
+        profile,
+        totalwork(profile),
+        allocations=(5, 10, 20, 40),
+        reps=6,
+        num_bins=50,
+        sample_dt=5.0,
+        seed=7,
+    )
+    # Mix of off-grid (interpolating, the controller's common case) and
+    # on-grid allocations.
+    allocations = (5, 7.5, 10, 13, 20, 27, 33, 40)
+    queries = [
+        (p, a, q) for p in PROGRESS for a in allocations for q in QS
+    ]
+
+    # Same answers first: a fast wrong path is not a speedup.
+    for p, a, q in queries:
+        assert table.remaining(p, a, q=q) == (
+            _baseline_remaining(table, p, a, q)
+        ) or abs(
+            table.remaining(p, a, q=q) - _baseline_remaining(table, p, a, q)
+        ) <= 1e-9 * max(1.0, abs(_baseline_remaining(table, p, a, q)))
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for p, a, q in queries:
+            _baseline_remaining(table, p, a, q)
+    baseline_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for p, a, q in queries:
+            table.remaining(p, a, q=q)
+    fast_s = time.perf_counter() - start
+
+    calls = ROUNDS * len(queries)
+    speedup = baseline_s / fast_s if fast_s > 0 else float("inf")
+
+    # The batched scan the control loop actually issues.
+    grid = list(range(5, 41))
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for p in PROGRESS:
+            for a in grid:
+                table.remaining(p, a, q=0.6)
+    scalar_scan_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        for p in PROGRESS:
+            table.remaining_curve(p, grid, q=0.6)
+    batch_scan_s = time.perf_counter() - start
+    batch_speedup = (
+        scalar_scan_s / batch_scan_s if batch_scan_s > 0 else float("inf")
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    digest = {
+        "benchmark": "cpa_query",
+        "calls": calls,
+        "np_quantile_baseline_us_per_call": round(baseline_s / calls * 1e6, 3),
+        "presorted_us_per_call": round(fast_s / calls * 1e6, 3),
+        "speedup": round(speedup, 2),
+        "min_required_speedup": MIN_QUERY_SPEEDUP,
+        "scan_scalar_seconds": round(scalar_scan_s, 4),
+        "scan_batched_seconds": round(batch_scan_s, 4),
+        "scan_batch_speedup": round(batch_speedup, 2),
+    }
+    (RESULTS_DIR / "bench_cpa_query.json").write_text(
+        json.dumps(digest, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\nC(p, a) query: np.quantile {baseline_s / calls * 1e6:.1f}us, "
+          f"presorted {fast_s / calls * 1e6:.1f}us per call "
+          f"({speedup:.1f}x); batched scan {batch_speedup:.1f}x")
+
+    assert speedup >= MIN_QUERY_SPEEDUP, (
+        f"expected >= {MIN_QUERY_SPEEDUP}x per-call speedup over "
+        f"np.quantile, measured {speedup:.2f}x"
+    )
+    assert batch_speedup >= 1.0, "batched scan slower than scalar loop"

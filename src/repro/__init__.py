@@ -17,6 +17,10 @@ Layering (bottom to top):
 * :mod:`repro.telemetry` — metrics registry, structured trace recorder,
   Chrome/JSONL exporters, and the control-loop decision audit.
 * :mod:`repro.persist` — JSON bundles for trained models.
+* :mod:`repro.cache` — content-addressed on-disk store for trained
+  C(p, a) tables (``REPRO_CACHE_DIR``, ``repro cache stats``).
+* :mod:`repro.parallel` — process-pool fan-out for model builds and
+  experiment sweeps (``REPRO_JOBS`` / ``--jobs``).
 * :mod:`repro.analysis` — trace analytics (Gantt, utilization, realized
   critical path).
 * :mod:`repro.cli` — ``python -m repro`` command-line interface.
@@ -41,8 +45,10 @@ from repro.core import (
     simulate_job,
     totalwork_with_q,
 )
+from repro.cache import CpaTableCache, get_or_build_table
 from repro.cluster import Cluster, ClusterConfig
 from repro.jobs import JobGraph, JobProfile, RunTrace, generate_table2_jobs
+from repro.parallel import parallel_map, resolve_jobs
 from repro.runtime import JobManager, run_to_completion
 from repro.telemetry import (
     ControlAudit,
@@ -53,7 +59,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AmdahlModel",
@@ -64,6 +70,7 @@ __all__ = [
     "ControlConfig",
     "CpaPredictor",
     "CpaTable",
+    "CpaTableCache",
     "JobGraph",
     "JobManager",
     "JobProfile",
@@ -81,7 +88,10 @@ __all__ = [
     "deadline_utility",
     "default_registry",
     "generate_table2_jobs",
+    "get_or_build_table",
     "oracle_allocation",
+    "parallel_map",
+    "resolve_jobs",
     "run_to_completion",
     "simulate_job",
     "totalwork_with_q",

@@ -33,12 +33,14 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro import __version__, persist
+from repro import cache as model_cache
+from repro import parallel as repro_parallel
 from repro.telemetry import export as telemetry_export
 from repro.telemetry import metrics as telemetry_metrics
 from repro.telemetry import trace as telemetry_trace
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.control import ControlConfig
-from repro.core.cpa import CpaTable
+from repro.core.cpa import DEFAULT_ALLOCATIONS, CpaTable
 from repro.core.policies import (
     AdaptiveModelPolicy,
     AmdahlPolicy,
@@ -52,7 +54,7 @@ from repro.jobs.profiles import JobProfile
 from repro.jobs.workloads import TABLE2_SPECS, generate_job, mapreduce_job
 from repro.runtime.jobmanager import JobManager, run_to_completion
 from repro.simkit.events import Simulator
-from repro.simkit.random import RngRegistry
+from repro.simkit.random import RngRegistry, derive_seed
 
 EXPERIMENTS = {
     "table1": ("exp_table1", "run"),
@@ -110,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--cpa-reps", type=int, default=8,
         help="simulations per allocation when building C(p, a) (default: 8)",
     )
+    train.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the C(p, a) build (0 = all cores; "
+             "default: $REPRO_JOBS, else serial)",
+    )
+    train.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk model cache (always rebuild, never store)",
+    )
 
     run = sub.add_parser("run", help="run a job under a policy vs a deadline")
     run.add_argument("--bundle", required=True, help="bundle from `repro train`")
@@ -156,8 +167,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=("smoke", "default", "paper"), default="default"
     )
     experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for model builds and run sweeps "
+             "(0 = all cores; default: $REPRO_JOBS, else serial)",
+    )
 
     sub.add_parser("list-experiments", help="list experiment ids")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk C(p, a) model cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser(
+        "stats", help="entry count, bytes, and cumulative hit/miss counters"
+    )
+    cache_sub.add_parser("clear", help="delete every cached model")
 
     trace = sub.add_parser("trace", help="inspect a recorded trace file")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -225,9 +250,15 @@ def cmd_train(args, out) -> int:
                                     min_failure_prob=0.001)
     indicator = totalwork_with_q(learned)
     out.write("building C(p, a) table...\n")
-    table = CpaTable.build(
-        learned, indicator, RngRegistry(args.seed).stream("cli-cpa"),
+    table = model_cache.get_or_build_table(
+        learned,
+        indicator,
+        indicator_kind="totalworkWithQ",
+        seed=derive_seed(args.seed, f"cli-cpa:{args.job}"),
+        allocations=DEFAULT_ALLOCATIONS,
         reps=args.cpa_reps,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
     )
     persist.save_bundle(
         args.out, graph=generated.graph, profile=learned, table=table,
@@ -371,9 +402,14 @@ def _run_job(args, out, graph, profile, table, policy, deadline: float) -> int:
 
 def cmd_experiment(args, out) -> int:
     import importlib
+    import os
 
     from repro.experiments.scenarios import SCALES
 
+    if args.jobs is not None:
+        # Experiment drivers pick up parallelism through the environment:
+        # every parallel_map call under this command inherits the setting.
+        os.environ[repro_parallel.JOBS_ENV] = str(args.jobs)
     module_name, func_name = EXPERIMENTS[args.id]
     module = importlib.import_module(f"repro.experiments.{module_name}")
     result = getattr(module, func_name)(SCALES[args.scale], seed=args.seed)
@@ -381,6 +417,23 @@ def cmd_experiment(args, out) -> int:
     for report in reports:
         out.write(report.render() + "\n")
     return 0
+
+
+def cmd_cache(args, out) -> int:
+    store = model_cache.default_cache()
+    if args.cache_command == "stats":
+        stats = store.stats()
+        out.write(f"cache root: {stats['root']}\n")
+        out.write(f"  entries: {stats['entries']}  "
+                  f"({stats['bytes'] / 1024:.1f} KiB)\n")
+        out.write(f"  hits: {stats['hits']}  misses: {stats['misses']}  "
+                  f"stores: {stats['stores']}  corrupt: {stats['corrupt']}\n")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        out.write(f"removed {removed} cached model(s) from {store.root}\n")
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def cmd_list_experiments(out) -> int:
@@ -468,6 +521,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_experiment(args, out)
         if args.command == "list-experiments":
             return cmd_list_experiments(out)
+        if args.command == "cache":
+            return cmd_cache(args, out)
         if args.command == "trace":
             return cmd_trace(args, out)
         if args.command == "report":

@@ -107,6 +107,11 @@ class AdaptiveCpaPredictor(CpaPredictor):
         base = super().remaining_seconds(fractions, allocation)
         return base * self.monitor.inflation
 
+    def remaining_seconds_batch(self, fractions: Mapping[str, float], allocations):
+        return super().remaining_seconds_batch(fractions, allocations) * (
+            self.monitor.inflation
+        )
+
 
 def make_monitor(profile: JobProfile, **kwargs) -> ModelErrorMonitor:
     """Monitor sized from a learned profile's total work."""

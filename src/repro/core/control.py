@@ -78,6 +78,18 @@ class CpaPredictor:
         progress = self.indicator.progress(fractions)
         return self.table.remaining(progress, allocation, q=self.percentile)
 
+    def remaining_seconds_batch(
+        self, fractions: Mapping[str, float], allocations: Sequence[float]
+    ):
+        """Vectorized candidate scan: the indicator runs once and the
+        table answers every allocation in one ``remaining_curve`` call.
+        Element ``i`` equals ``remaining_seconds(fractions,
+        allocations[i])`` exactly."""
+        progress = self.indicator.progress(fractions)
+        return self.table.remaining_curve(
+            progress, allocations, q=self.percentile
+        )
+
 
 @dataclass(frozen=True)
 class ControlConfig:
@@ -186,10 +198,16 @@ class JockeyController:
         best_u0 = -math.inf
         utilities = []
         candidates = []
-        for a in self._grid:
-            remaining = self.config.slack * self.predictor.remaining_seconds(
-                fractions, a
-            )
+        batch = getattr(self.predictor, "remaining_seconds_batch", None)
+        if batch is not None:
+            predictions = batch(fractions, self._grid)
+        else:
+            predictions = [
+                self.predictor.remaining_seconds(fractions, a)
+                for a in self._grid
+            ]
+        for a, predicted in zip(self._grid, predictions):
+            remaining = self.config.slack * float(predicted)
             u = self._effective.value(elapsed + remaining)
             u0 = self._utility.value(elapsed + remaining)
             utilities.append((a, remaining, u, u0))

@@ -22,7 +22,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.jobs.dag import DependencyTracker, JobGraph
-from repro.jobs.profiles import JobProfile
+from repro.jobs.profiles import JobProfile, StageProfile
+from repro.simkit import distributions as _dist
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
 
@@ -39,6 +40,48 @@ _SIM_SECONDS = _metrics.REGISTRY.histogram(
 
 class SimulatorError(RuntimeError):
     """Raised when a simulation cannot make progress."""
+
+
+class _StageSampler:
+    """Chunked per-stage random draws for the hot task-start path.
+
+    Each stage owns an independent RNG substream (seeded from the run's
+    generator at simulation start, in stage order).  The draw-order
+    contract: task starts of a stage consume one ``(runtime+init,
+    failure-uniform, failure-runtime-fraction)`` slot each, in start
+    order, produced in fixed-size vectorized blocks — so a stage's draw
+    sequence depends only on how many of its tasks have started, never on
+    how other stages interleave.  That is what lets the sampling be
+    batched without changing results between runs.
+    """
+
+    __slots__ = ("_sp", "_rng", "_chunk", "_costs", "_fail_us", "_fail_fracs", "_pos")
+
+    def __init__(self, sp: StageProfile, seed: int, num_tasks: int):
+        self._sp = sp
+        self._rng = np.random.default_rng(seed)
+        self._chunk = min(256, max(16, num_tasks))
+        self._pos = self._chunk  # force a refill on the first draw
+        self._costs: Optional[np.ndarray] = None
+        self._fail_us: Optional[np.ndarray] = None
+        self._fail_fracs: Optional[np.ndarray] = None
+
+    def _refill(self) -> None:
+        sp, rng, k = self._sp, self._rng, self._chunk
+        self._costs = _dist.sample_n(sp.runtime, rng, k) + _dist.sample_n(
+            sp.init, rng, k
+        )
+        self._fail_us = rng.random(k)
+        self._fail_fracs = rng.uniform(0.05, 0.95, k)
+        self._pos = 0
+
+    def draw(self) -> Tuple[float, float, float]:
+        pos = self._pos
+        if pos >= self._chunk:
+            self._refill()
+            pos = 0
+        self._pos = pos + 1
+        return self._costs[pos], self._fail_us[pos], self._fail_fracs[pos]
 
 
 @dataclass
@@ -77,6 +120,11 @@ def simulate_job(
     ``allocation`` tasks are running and a task is ready, it starts.  Failed
     attempts lose their partial work and re-queue, exactly as in the
     substrate runtime.
+
+    Randomness: each stage draws from its own substream seeded off ``rng``
+    at simulation start (one ``rng.integers`` draw per stage, in stage
+    order), and per-task samples are produced in vectorized blocks — see
+    :class:`_StageSampler` for the draw-order contract.
     """
     if allocation < 1:
         raise SimulatorError(f"allocation must be >= 1, got {allocation}")
@@ -87,6 +135,19 @@ def simulate_job(
         raise SimulatorError(f"job {graph.name!r} has no runnable root tasks")
 
     stage_profiles = {name: profile.stage(name) for name in profile.stage_names}
+    task_counts = {s.name: s.num_tasks for s in graph.stages}
+    samplers = {
+        name: _StageSampler(
+            stage_profiles[name],
+            int(rng.integers(0, 2**63)),
+            task_counts[name],
+        )
+        for name in profile.stage_names
+    }
+    # Hoisted telemetry handles: one registry/recorder resolution per run,
+    # not per task or per metric update.
+    metrics_on = _metrics.REGISTRY.enabled
+    rec = _trace.RECORDER
     #: running tasks as (finish_time, seq, stage, index, will_fail)
     running: List[Tuple[float, int, str, int, bool]] = []
     seq = 0
@@ -104,14 +165,15 @@ def simulate_job(
         while ready and len(running) < allocation:
             stage, index = ready.popleft()
             sp = stage_profiles[stage]
-            runtime = sp.runtime.sample(rng) + sp.init.sample(rng)
-            will_fail = sp.failure_prob > 0 and rng.random() < sp.failure_prob
+            cost, fail_u, fail_frac = samplers[stage].draw()
+            runtime = float(cost)
+            will_fail = sp.failure_prob > 0 and fail_u < sp.failure_prob
             if will_fail:
                 count = attempts.get((stage, index), 0)
                 if count + 1 >= max_task_attempts:
                     will_fail = False  # give up on failing: avoid livelock
                 else:
-                    runtime *= float(rng.uniform(0.05, 0.95))
+                    runtime *= float(fail_frac)
             total_cpu += runtime
             if track_spans and stage not in stage_first_start:
                 stage_first_start[stage] = now
@@ -126,7 +188,7 @@ def simulate_job(
             samples.append((next_sample, indicator.progress(fractions_fn())))
             next_sample += sample_dt
 
-    stage_sizes = {s.name: s.num_tasks for s in graph.stages}
+    stage_sizes = task_counts
 
     def fractions() -> Dict[str, float]:
         return {
@@ -171,10 +233,10 @@ def simulate_job(
             spans[name] = (min(lo, 1.0), min(max(hi, lo), 1.0))
     if indicator is not None:
         samples.append((duration, indicator.progress(fractions())))
-    _SIMULATIONS.inc()
-    _SIM_FAILURES.inc(failures)
-    _SIM_SECONDS.observe(duration)
-    rec = _trace.RECORDER
+    if metrics_on:
+        _SIMULATIONS.inc()
+        _SIM_FAILURES.inc(failures)
+        _SIM_SECONDS.observe(duration)
     if rec.enabled:
         rec.emit(0.0, "sim.offline_run",
                  job=graph.name, allocation=allocation,

@@ -23,6 +23,7 @@ from repro.core.utility import deadline_utility
 from repro.experiments.metrics import RunMetrics, metrics_from_trace
 from repro.experiments.scenarios import TrainedJob
 from repro.jobs.trace import RunTrace
+from repro.parallel import parallel_map
 from repro.runtime.jobmanager import JobManager, run_to_completion
 from repro.runtime.speculation import SpeculationConfig
 from repro.simkit.events import Simulator
@@ -287,6 +288,28 @@ def make_policy(
 POLICY_KINDS = ("jockey", "jockey-no-adapt", "jockey-no-sim", "max-allocation")
 
 
+def _suite_unit(spec) -> ExperimentResult:
+    """One (job, deadline, policy, rep) run — module-level so worker
+    processes can unpickle it.  Builds the policy inside the worker:
+    controller state is fresh per run either way, and the spec stays
+    cheap to ship."""
+    trained, kind, deadline, seed, control, indicator_kind = spec
+    policy = make_policy(
+        kind, trained, deadline,
+        control=control, indicator_kind=indicator_kind,
+    )
+    period = control.period_seconds if control is not None else 60.0
+    return run_experiment(
+        trained,
+        policy,
+        RunConfig(
+            deadline_seconds=deadline,
+            seed=seed,
+            control_period=period,
+        ),
+    )
+
+
 def run_suite(
     trained_jobs: Sequence[TrainedJob],
     policy_kinds: Sequence[str],
@@ -296,12 +319,19 @@ def run_suite(
     deadline_of: Optional[Callable[[TrainedJob], Sequence[float]]] = None,
     control: Optional[ControlConfig] = None,
     indicator_kind: str = "totalworkWithQ",
+    jobs: Optional[int] = None,
 ) -> List[ExperimentResult]:
     """The cross product the evaluation sweeps: jobs x deadlines x policies
-    x repetitions, each with its own seed."""
+    x repetitions, each with its own seed.
+
+    Every run is an independent simulation with a deterministic
+    process-independent seed, so the sweep fans out across ``jobs`` worker
+    processes (default: ``REPRO_JOBS``, else serial) with results in the
+    same order — and bit-identical content — as the serial loop.
+    """
     if deadline_of is None:
         deadline_of = lambda t: (t.short_deadline,)
-    results: List[ExperimentResult] = []
+    specs = []
     for trained in trained_jobs:
         for deadline in deadline_of(trained):
             for kind in policy_kinds:
@@ -311,23 +341,10 @@ def run_suite(
                         seed_base,
                         f"{trained.name}:{int(deadline)}:{kind}:{rep}",
                     ) % 1_000_003
-                    policy = make_policy(
-                        kind, trained, deadline,
-                        control=control, indicator_kind=indicator_kind,
+                    specs.append(
+                        (trained, kind, deadline, seed, control, indicator_kind)
                     )
-                    period = control.period_seconds if control is not None else 60.0
-                    results.append(
-                        run_experiment(
-                            trained,
-                            policy,
-                            RunConfig(
-                                deadline_seconds=deadline,
-                                seed=seed,
-                                control_period=period,
-                            ),
-                        )
-                    )
-    return results
+    return list(parallel_map(_suite_unit, specs, jobs=jobs))
 
 
 __all__ = [

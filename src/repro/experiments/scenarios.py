@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro import cache as model_cache
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.cpa import CpaTable
 from repro.core.progress import build_indicator
@@ -24,7 +25,7 @@ from repro.jobs.trace import RunTrace
 from repro.jobs.workloads import GeneratedJob, generate_table2_jobs
 from repro.runtime.jobmanager import JobManager, run_to_completion
 from repro.simkit.events import Simulator
-from repro.simkit.random import RngRegistry
+from repro.simkit.random import RngRegistry, derive_seed
 
 
 @dataclass(frozen=True)
@@ -121,7 +122,12 @@ class TrainedJob:
         return build_indicator(kind, self.learned_profile)
 
     def table_for_indicator(self, kind: str) -> CpaTable:
-        """C(p, a) rebuilt against a different progress indicator."""
+        """C(p, a) rebuilt against a different progress indicator.
+
+        Served from the in-process dict when this object already built it,
+        the on-disk model cache when another process did, and a fresh
+        (parallel) build otherwise.
+        """
         if kind == "totalworkWithQ":
             return self.table
         if self._indicator_tables is None:
@@ -129,11 +135,11 @@ class TrainedJob:
         cached = self._indicator_tables.get(kind)
         if cached is not None:
             return cached
-        rng = RngRegistry(self.seed).stream(f"cpa:{self.name}:{kind}")
-        table = CpaTable.build(
+        table = model_cache.get_or_build_table(
             self.learned_profile,
             self.indicator_named(kind),
-            rng,
+            indicator_kind=kind,
+            seed=derive_seed(self.seed, f"cpa:{self.name}:{kind}"),
             allocations=self.scale.allocations,
             reps=self.scale.cpa_reps,
         )
@@ -182,8 +188,17 @@ def trained_job(
     seed: int = 0,
     scale: Scale = DEFAULT,
     use_cache: bool = True,
+    jobs: Optional[int] = None,
 ) -> TrainedJob:
-    """Generate, profile and model one of the Table 2 jobs (cached)."""
+    """Generate, profile and model one of the Table 2 jobs.
+
+    Two cache layers: ``_TRAINED_CACHE`` deduplicates within a process,
+    and the model-building step (the expensive part — ``cpa_reps`` x
+    ``|allocations|`` simulations) goes through the content-addressed
+    on-disk cache, so a second process with the same inputs builds nothing.
+    ``jobs`` fans the build out across worker processes (default: the
+    ``REPRO_JOBS`` environment variable, else serial).
+    """
     key = (name, seed, scale.name)
     if use_cache and key in _TRAINED_CACHE:
         return _TRAINED_CACHE[key]
@@ -195,13 +210,15 @@ def trained_job(
         generated.graph, trace, min_failure_prob=0.001
     )
     indicator = build_indicator("totalworkWithQ", learned)
-    rng = RngRegistry(seed).stream(f"cpa:{name}:totalworkWithQ")
-    table = CpaTable.build(
+    table = model_cache.get_or_build_table(
         learned,
         indicator,
-        rng,
+        indicator_kind="totalworkWithQ",
+        seed=derive_seed(seed, f"cpa:{name}:totalworkWithQ"),
         allocations=scale.allocations,
         reps=scale.cpa_reps,
+        jobs=jobs,
+        use_cache=use_cache,
     )
     short = pick_deadline(table)
     trained = TrainedJob(

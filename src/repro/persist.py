@@ -179,16 +179,23 @@ def profile_from_dict(data: Dict, graph: Optional[JobGraph] = None) -> JobProfil
 # ----------------------------------------------------------------------
 
 
-def table_to_dict(table: CpaTable, *, precision: int = 2) -> Dict:
+def table_to_dict(table: CpaTable, *, precision: Optional[int] = 2) -> Dict:
     """Serialize a table; samples are rounded to ``precision`` decimals
-    (centisecond resolution is far below model error)."""
+    (centisecond resolution is far below model error).  ``precision=None``
+    keeps full float precision — the model cache uses it so a cache hit
+    answers queries bit-identically to the freshly built table."""
     columns = {}
     for a in table.allocations:
         column = table._columns[a]
-        columns[str(a)] = [
-            [round(float(v), precision) for v in bin_samples]
-            for bin_samples in column.bins
-        ]
+        if precision is None:
+            columns[str(a)] = [
+                [float(v) for v in bin_samples] for bin_samples in column.bins
+            ]
+        else:
+            columns[str(a)] = [
+                [round(float(v), precision) for v in bin_samples]
+                for bin_samples in column.bins
+            ]
     return {
         "allocations": list(table.allocations),
         "num_bins": table.num_bins,

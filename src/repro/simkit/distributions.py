@@ -36,6 +36,9 @@ class Constant:
     def sample(self, rng: np.random.Generator) -> float:
         return self.value
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value, dtype=float)
+
     def mean(self) -> float:
         return self.value
 
@@ -57,6 +60,9 @@ class Uniform:
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
 
@@ -76,6 +82,9 @@ class Exponential:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self.mean_value))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self.mean_value, size=n)
 
     def mean(self) -> float:
         return self.mean_value
@@ -114,6 +123,9 @@ class LogNormal:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size=n)
 
     def mean(self) -> float:
         return math.exp(self.mu + self.sigma**2 / 2.0)
@@ -166,6 +178,13 @@ class WithOutliers:
             value *= self.outlier_factor
         return value
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        values = sample_n(self.base, rng, n)
+        if self.outlier_prob > 0:
+            mask = rng.random(n) < self.outlier_prob
+            values = np.where(mask, values * self.outlier_factor, values)
+        return values
+
     def mean(self) -> float:
         base_mean = self.base.mean()
         return base_mean * (1 + self.outlier_prob * (self.outlier_factor - 1))
@@ -196,6 +215,9 @@ class Truncated:
 
     def sample(self, rng: np.random.Generator) -> float:
         return min(self.base.sample(rng), self.cap)
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.minimum(sample_n(self.base, rng, n), self.cap)
 
     def mean(self) -> float:
         # Monte-Carlo-free approximation: integrate the quantile function.
@@ -228,6 +250,9 @@ class Empirical:
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return self._array[rng.integers(0, len(self._array), size=n)]
 
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return self.sample_many(rng, n)
+
     def mean(self) -> float:
         return float(self._array.mean())
 
@@ -254,6 +279,9 @@ class Scaled:
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.base.sample(rng) * self.factor
+
+    def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return sample_n(self.base, rng, n) * self.factor
 
     def mean(self) -> float:
         return self.base.mean() * self.factor
@@ -283,6 +311,19 @@ def scale(dist: "Distribution", factor: float) -> "Distribution":
     return Scaled(dist, factor)
 
 
+def sample_n(dist: "Distribution", rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` values from ``dist`` as one vectorized block.
+
+    Every built-in distribution implements ``sample_n``; third-party
+    distributions that only provide scalar ``sample`` fall back to a loop
+    with the same per-draw order.
+    """
+    batched = getattr(dist, "sample_n", None)
+    if batched is not None:
+        return np.asarray(batched(rng, n), dtype=float)
+    return np.asarray([dist.sample(rng) for _ in range(n)], dtype=float)
+
+
 __all__ = [
     "Constant",
     "Distribution",
@@ -294,5 +335,6 @@ __all__ = [
     "Truncated",
     "Uniform",
     "WithOutliers",
+    "sample_n",
     "scale",
 ]

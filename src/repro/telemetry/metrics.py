@@ -238,10 +238,23 @@ class Metric:
 
 
 class MetricsRegistry:
-    """Holds the process's instruments; get-or-create by name."""
+    """Holds the process's instruments; get-or-create by name.
+
+    ``enabled`` is an advisory flag for hot paths: instruments always
+    work, but loops that would pay per-iteration ``.labels()``/``.inc()``
+    dict lookups may check it once up front and skip recording entirely
+    (see ``repro.core.simulator``).  It defaults to on.
+    """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self.enabled = True
+
+    def set_enabled(self, enabled: bool) -> bool:
+        """Flip the advisory hot-path flag; returns the previous value."""
+        previous = self.enabled
+        self.enabled = bool(enabled)
+        return previous
 
     def _get_or_create(self, kind: str, name: str, help: str,
                        labelnames: Sequence[str], **kwargs) -> Metric:

@@ -95,3 +95,48 @@ class TestValidation:
             CpaTable.build(profile, totalwork(profile), rng, reps=0)
         with pytest.raises(CpaError):
             CpaTable.build(profile, totalwork(profile), rng, num_bins=1)
+
+
+class TestVectorizedQueries:
+    def test_remaining_curve_matches_scalar_exactly(self, table):
+        # Exact-grid points, clamped ends, and interpolated midpoints: the
+        # batched scan must reproduce the scalar query bit-for-bit, or the
+        # control loop's argmin could flip between code paths.
+        allocations = [0.5, 1, 2, 3, 4, 5.5, 8, 100]
+        for q in (0.1, 0.5, 0.6, 0.9):
+            for progress in (0.0, 0.3, 0.77, 1.0):
+                curve = table.remaining_curve(progress, allocations, q=q)
+                scalars = [
+                    table.remaining(progress, a, q=q) for a in allocations
+                ]
+                assert curve.tolist() == scalars
+
+    def test_remaining_curve_validates_like_scalar(self, table):
+        with pytest.raises(CpaError):
+            table.remaining_curve(1.5, [1, 2])
+        with pytest.raises(CpaError):
+            table.remaining_curve(0.5, [1, 2], q=-0.1)
+        with pytest.raises(CpaError):
+            table.remaining_curve(0.5, [0, 2])
+
+    def test_exact_grid_allocation_uses_column_directly(self, table):
+        # Integral on-grid allocations (incl. float-typed ones) must answer
+        # from the column itself, not via interpolation round-trips.
+        for a in table.allocations:
+            assert table.remaining(0.3, float(a)) == table.remaining(0.3, a)
+            assert table.exceedance(0.3, float(a), 10.0) == (
+                table.exceedance(0.3, a, 10.0)
+            )
+
+    def test_percentile_matches_numpy_quantile(self, table):
+        # The O(1) presorted lookup must agree with np.quantile's 'linear'
+        # interpolation, which the original implementation called per query.
+        column = table._columns[4]
+        for bin_index in (0, 5, 10):
+            samples = column.bins[bin_index]
+            if samples.size == 0:
+                continue
+            for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+                assert column.percentile(bin_index, q) == pytest.approx(
+                    float(np.quantile(samples, q)), abs=1e-9
+                )

@@ -362,3 +362,21 @@ class TestEndToEnd:
         assert snap["repro_simkit_events_dispatched"]["values"][""] > 0
         assert snap["repro_simkit_virtual_time_seconds"]["values"][""] > 0
         assert "repro_simkit_cancelled_pending" in snap
+
+
+class TestRegistryEnabledFlag:
+    def test_default_enabled_and_toggle_returns_previous(self):
+        reg = MetricsRegistry()
+        assert reg.enabled is True
+        assert reg.set_enabled(False) is True
+        assert reg.enabled is False
+        assert reg.set_enabled(True) is False
+        assert reg.enabled is True
+
+    def test_disabled_registry_still_counts_explicit_calls(self):
+        # The flag is advisory for hot paths; instruments keep working.
+        reg = MetricsRegistry()
+        counter = reg.counter("explicit_total", "d")
+        reg.set_enabled(False)
+        counter.inc()
+        assert counter.value == 1
