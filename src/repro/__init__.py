@@ -59,7 +59,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AmdahlModel",

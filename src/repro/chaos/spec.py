@@ -1,0 +1,356 @@
+"""Declarative chaos schedules.
+
+A :class:`ChaosSpec` is a plain frozen dataclass describing every fault a
+run should suffer: correlated rack failures, eviction storms, token-supply
+shocks, profile drift, and control-plane faults.  Being declarative (and
+JSON round-trippable via :mod:`repro.persist`), the same schedule can be
+attached to an experiment config, shipped to worker processes, checked into
+a scenario library, or passed to the CLI as ``repro run --chaos spec.json``.
+
+The ``intensity`` field is a global dial: :meth:`ChaosSpec.effective`
+folds it into every injector's magnitude (failure counts, demand
+fractions, drift factors, fault probabilities, blackout durations), so an
+experiment can sweep one number from "calm" (0) past "as configured" (1)
+into "worse than configured" (>1) without editing the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class ChaosError(ValueError):
+    """Raised for malformed or unsatisfiable chaos specifications."""
+
+
+def _scaled_window(start: float, end: float, intensity: float) -> Tuple[float, float]:
+    """Scale a window's *duration* (anchored at its start) by ``intensity``."""
+    return (start, start + (end - start) * intensity)
+
+
+@dataclass(frozen=True)
+class RackFailure:
+    """Fail a batch of machines at once — a rack/PDU/switch loss, not the
+    independent Poisson crashes :class:`~repro.cluster.failures.FailureInjector`
+    already models."""
+
+    at: float
+    count: int = 4
+    #: Explicit machine ids; empty means "a contiguous block of ``count``
+    #: machines starting at ``first_machine`` (or a seeded random start)".
+    machines: Tuple[int, ...] = ()
+    first_machine: Optional[int] = None
+    repair_seconds: float = 300.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "machines", tuple(self.machines))
+        if self.at < 0:
+            raise ChaosError(f"rack failure at negative time {self.at!r}")
+        if self.count < 0:
+            raise ChaosError(f"negative rack failure count {self.count!r}")
+        if self.repair_seconds <= 0:
+            raise ChaosError("rack repair time must be positive")
+
+
+@dataclass(frozen=True)
+class EvictionStorm:
+    """A heavyweight competitor floods the spare-token market during
+    [start, end): the SLO job's spare-token tasks get squeezed out."""
+
+    start: float
+    end: float
+    #: Peak demand as a fraction of pool capacity.
+    demand_fraction: float = 0.5
+    weight: float = 2000.0
+
+    def __post_init__(self):
+        if self.start < 0 or self.end < self.start:
+            raise ChaosError(f"bad storm window [{self.start}, {self.end})")
+        if not 0 <= self.demand_fraction <= 1:
+            raise ChaosError(
+                f"storm demand fraction {self.demand_fraction!r} not in [0, 1]"
+            )
+        if self.weight <= 0:
+            raise ChaosError("storm weight must be positive")
+
+
+@dataclass(frozen=True)
+class TokenShock:
+    """A competing reservation grabs *guaranteed* tokens during
+    [start, end), shrinking the headroom the arbiter can grant the SLO
+    job — its allocation requests come back clamped."""
+
+    start: float
+    end: float
+    #: Guaranteed tokens seized, as a fraction of pool capacity.
+    guaranteed_fraction: float = 0.4
+
+    def __post_init__(self):
+        if self.start < 0 or self.end < self.start:
+            raise ChaosError(f"bad shock window [{self.start}, {self.end})")
+        if not 0 <= self.guaranteed_fraction <= 1:
+            raise ChaosError(
+                f"shock guaranteed fraction {self.guaranteed_fraction!r} "
+                "not in [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class ProfileDrift:
+    """At time ``at`` the live job's task costs drift away from the trained
+    profile by ``factor`` (input growth, hot data node, code regression)."""
+
+    at: float
+    factor: float = 1.5
+    #: Stages to scale; empty means every stage.
+    stages: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "stages", tuple(self.stages))
+        if self.at < 0:
+            raise ChaosError(f"profile drift at negative time {self.at!r}")
+        if self.factor <= 0:
+            raise ChaosError(f"drift factor must be positive, got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class ControlFaults:
+    """Control-plane misbehaviour: allocator ticks dropped or delayed, and
+    windows where the C(p, a) predictor is unreachable entirely."""
+
+    drop_tick_prob: float = 0.0
+    delay_tick_prob: float = 0.0
+    delay_seconds: float = 20.0
+    #: [start, end) windows where the predictor raises
+    #: :class:`~repro.core.control.PredictorUnavailable`.
+    blackouts: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "blackouts", tuple((float(s), float(e)) for s, e in self.blackouts)
+        )
+        for prob, label in (
+            (self.drop_tick_prob, "drop_tick_prob"),
+            (self.delay_tick_prob, "delay_tick_prob"),
+        ):
+            if not 0 <= prob <= 1:
+                raise ChaosError(f"{label} {prob!r} not in [0, 1]")
+        if self.drop_tick_prob + self.delay_tick_prob > 1:
+            raise ChaosError("drop_tick_prob + delay_tick_prob exceeds 1")
+        if self.delay_seconds < 0:
+            raise ChaosError("tick delay must be >= 0")
+        for start, end in self.blackouts:
+            if start < 0 or end < start:
+                raise ChaosError(f"bad blackout window [{start}, {end})")
+
+    def any_faults(self) -> bool:
+        return (
+            self.drop_tick_prob > 0
+            or self.delay_tick_prob > 0
+            or any(end > start for start, end in self.blackouts)
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A full chaos schedule for one run."""
+
+    name: str = "chaos"
+    intensity: float = 1.0
+    rack_failures: Tuple[RackFailure, ...] = ()
+    eviction_storms: Tuple[EvictionStorm, ...] = ()
+    token_shocks: Tuple[TokenShock, ...] = ()
+    profile_drifts: Tuple[ProfileDrift, ...] = ()
+    control_faults: ControlFaults = field(default_factory=ControlFaults)
+
+    def __post_init__(self):
+        for attr in ("rack_failures", "eviction_storms", "token_shocks",
+                     "profile_drifts"):
+            object.__setattr__(self, attr, tuple(getattr(self, attr)))
+        if self.intensity < 0:
+            raise ChaosError(f"negative intensity {self.intensity!r}")
+
+    # ------------------------------------------------------------------
+
+    def effective(self) -> "ChaosSpec":
+        """The schedule with ``intensity`` folded into every magnitude
+        (and reset to 1).  ``intensity=0`` yields a no-op schedule."""
+        x = self.intensity
+        if x == 1.0:
+            return self
+        cf = self.control_faults
+        drop = min(1.0, cf.drop_tick_prob * x)
+        delay = min(1.0 - drop, cf.delay_tick_prob * x)
+        return replace(
+            self,
+            intensity=1.0,
+            rack_failures=tuple(
+                replace(
+                    rf,
+                    count=int(round(rf.count * x)),
+                    machines=rf.machines[: int(round(len(rf.machines) * x))],
+                )
+                for rf in self.rack_failures
+            ),
+            eviction_storms=tuple(
+                replace(s, demand_fraction=min(1.0, s.demand_fraction * x))
+                for s in self.eviction_storms
+            ),
+            token_shocks=tuple(
+                replace(s, guaranteed_fraction=min(1.0, s.guaranteed_fraction * x))
+                for s in self.token_shocks
+            ),
+            profile_drifts=tuple(
+                replace(d, factor=max(0.05, 1.0 + (d.factor - 1.0) * x))
+                for d in self.profile_drifts
+            ),
+            control_faults=replace(
+                cf,
+                drop_tick_prob=drop,
+                delay_tick_prob=delay,
+                blackouts=tuple(
+                    _scaled_window(s, e, x) for s, e in cf.blackouts
+                ),
+            ),
+        )
+
+    def is_noop(self) -> bool:
+        """True when the (intensity-folded) schedule injects nothing."""
+        eff = self.effective()
+        return (
+            all(rf.count == 0 and not rf.machines for rf in eff.rack_failures)
+            and all(s.demand_fraction == 0 for s in eff.eviction_storms)
+            and all(s.guaranteed_fraction == 0 for s in eff.token_shocks)
+            and all(d.factor == 1.0 for d in eff.profile_drifts)
+            and not eff.control_faults.any_faults()
+        )
+
+    def validate(
+        self,
+        *,
+        num_machines: Optional[int] = None,
+        stage_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Cross-check the schedule against a concrete cluster/job.  Raises
+        :class:`ChaosError` naming the offending reference."""
+        if num_machines is not None:
+            for rf in self.rack_failures:
+                for machine in rf.machines:
+                    if not 0 <= machine < num_machines:
+                        raise ChaosError(
+                            f"rack failure references unknown machine "
+                            f"{machine} (cluster has {num_machines})"
+                        )
+                if rf.first_machine is not None and not (
+                    0 <= rf.first_machine < num_machines
+                ):
+                    raise ChaosError(
+                        f"rack failure starts at unknown machine "
+                        f"{rf.first_machine} (cluster has {num_machines})"
+                    )
+        if stage_names is not None:
+            known = set(stage_names)
+            for drift in self.profile_drifts:
+                for stage in drift.stages:
+                    if stage not in known:
+                        raise ChaosError(
+                            f"profile drift references unknown stage "
+                            f"{stage!r} (job has {sorted(known)})"
+                        )
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+
+_EVENT_TYPES = {
+    "rack_failures": RackFailure,
+    "eviction_storms": EvictionStorm,
+    "token_shocks": TokenShock,
+    "profile_drifts": ProfileDrift,
+}
+
+
+def _item_to_dict(item) -> Dict:
+    out = {}
+    for f in fields(item):
+        value = getattr(item, f.name)
+        if isinstance(value, tuple):
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
+        out[f.name] = value
+    return out
+
+
+def _item_from_dict(cls, data: Dict, context: str):
+    if not isinstance(data, dict):
+        raise ChaosError(f"{context}: expected an object, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ChaosError(f"{context}: unknown field(s) {sorted(unknown)}")
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ChaosError(f"{context}: {exc}") from exc
+
+
+def spec_to_dict(spec: ChaosSpec) -> Dict:
+    """Serialize a :class:`ChaosSpec` to a JSON-ready dict."""
+    return {
+        "name": spec.name,
+        "intensity": spec.intensity,
+        "rack_failures": [_item_to_dict(rf) for rf in spec.rack_failures],
+        "eviction_storms": [_item_to_dict(s) for s in spec.eviction_storms],
+        "token_shocks": [_item_to_dict(s) for s in spec.token_shocks],
+        "profile_drifts": [_item_to_dict(d) for d in spec.profile_drifts],
+        "control_faults": _item_to_dict(spec.control_faults),
+    }
+
+
+def spec_from_dict(data: Dict) -> ChaosSpec:
+    """Parse a dict produced by :func:`spec_to_dict` (or hand-written
+    JSON).  Raises :class:`ChaosError` on any malformed content."""
+    if not isinstance(data, dict):
+        raise ChaosError(f"chaos spec: expected an object, got {type(data).__name__}")
+    known = {"name", "intensity", "control_faults", *_EVENT_TYPES}
+    unknown = set(data) - known
+    if unknown:
+        raise ChaosError(f"chaos spec: unknown field(s) {sorted(unknown)}")
+    kwargs = {}
+    if "name" in data:
+        if not isinstance(data["name"], str):
+            raise ChaosError("chaos spec: name must be a string")
+        kwargs["name"] = data["name"]
+    if "intensity" in data:
+        if not isinstance(data["intensity"], (int, float)) or isinstance(
+            data["intensity"], bool
+        ):
+            raise ChaosError("chaos spec: intensity must be a number")
+        kwargs["intensity"] = float(data["intensity"])
+    for key, cls in _EVENT_TYPES.items():
+        items = data.get(key, [])
+        if not isinstance(items, list):
+            raise ChaosError(f"chaos spec: {key} must be a list")
+        kwargs[key] = tuple(
+            _item_from_dict(cls, item, f"{key}[{i}]")
+            for i, item in enumerate(items)
+        )
+    if "control_faults" in data:
+        kwargs["control_faults"] = _item_from_dict(
+            ControlFaults, data["control_faults"], "control_faults"
+        )
+    return ChaosSpec(**kwargs)
+
+
+__all__ = [
+    "ChaosError",
+    "ChaosSpec",
+    "ControlFaults",
+    "EvictionStorm",
+    "ProfileDrift",
+    "RackFailure",
+    "TokenShock",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -75,6 +75,7 @@ EXPERIMENTS = {
     "ablation-speculation": ("exp_ablation_speculation", "run"),
     "multijob": ("exp_multijob", "run"),
     "sec2.4": ("exp_section24", "run"),
+    "chaos": ("exp_chaos", "run"),
 }
 
 POLICY_CHOICES = (
@@ -130,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--runtime-scale", type=float, default=1.0,
         help="inflate this run's task runtimes (input growth; default 1.0)",
+    )
+    run.add_argument(
+        "--chaos", default=None, metavar="SPEC.json",
+        help="chaos-injection schedule (JSON; see EXPERIMENTS.md "
+             "'Injecting chaos'): rack failures, eviction storms, token "
+             "shocks, profile drift, control-plane faults",
     )
     run.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -296,6 +303,18 @@ def cmd_run(args, out) -> int:
         out.write("error: bundle has no C(p, a) table; use --policy "
                   "jockey-no-sim or max-allocation\n")
         return 2
+    chaos_spec = None
+    if args.chaos:
+        try:
+            chaos_spec = persist.load_chaos_spec(args.chaos)
+        except (OSError, persist.PersistError) as exc:
+            out.write(f"error: cannot load chaos spec: {exc}\n")
+            out.write(
+                "usage: repro run --chaos SPEC.json — SPEC.json must be a "
+                "JSON chaos schedule (see EXPERIMENTS.md, 'Injecting "
+                "chaos', for the format and a worked example)\n"
+            )
+            return 2
     deadline = args.deadline_minutes * 60.0
     indicator = totalwork_with_q(profile)
     policy = _build_policy(args.policy, table, indicator, profile, deadline)
@@ -308,13 +327,18 @@ def cmd_run(args, out) -> int:
         port = server.start()
         out.write(f"serving metrics at http://127.0.0.1:{port}/metrics\n")
     try:
-        return _run_job(args, out, graph, profile, table, policy, deadline)
+        return _run_job(
+            args, out, graph, profile, table, policy, deadline,
+            chaos_spec=chaos_spec,
+        )
     finally:
         if server is not None:
             server.stop()
 
 
-def _run_job(args, out, graph, profile, table, policy, deadline: float) -> int:
+def _run_job(
+    args, out, graph, profile, table, policy, deadline: float, *, chaos_spec=None
+) -> int:
     want_trace = args.trace_out or args.trace_jsonl
     if args.metrics_out:
         # Per-run metrics: zero the registry so the snapshot covers this
@@ -338,14 +362,38 @@ def _run_job(args, out, graph, profile, table, policy, deadline: float) -> int:
             initial_allocation=policy.initial_allocation(),
             rng=RngRegistry(args.seed).stream("cli-run"),
             deadline=deadline,
+            allocation_retry=chaos_spec is not None,
         )
+        engine = None
+        if chaos_spec is not None:
+            # Unknown machine/stage references raise ChaosError here — a
+            # runtime (exit 1) failure with a named error, not a usage one.
+            from repro.chaos.engine import ChaosEngine
 
-        def tick():
+            engine = ChaosEngine(
+                chaos_spec, sim=sim, cluster=cluster, manager=manager,
+                policy=policy, seed=derive_seed(args.seed, "chaos"),
+            )
+            engine.install()
+
+        def tick_body():
             if manager.finished:
                 return
             allocation = policy.on_tick(manager.snapshot())
             if allocation is not None:
                 manager.set_allocation(allocation)
+
+        def tick():
+            if manager.finished:
+                return
+            if engine is not None:
+                disposition, delay = engine.tick_disposition()
+                if disposition == "drop":
+                    return
+                if disposition == "delay":
+                    sim.schedule(delay, tick_body)
+                    return
+            tick_body()
 
         if policy.adaptive:
             sim.schedule_every(60.0, tick)
@@ -366,6 +414,17 @@ def _run_job(args, out, graph, profile, table, policy, deadline: float) -> int:
         f"{sum(1 for r in trace.records if r.outcome == 'evicted')}, "
         f"failures {sum(1 for r in trace.records if r.outcome == 'failed')}\n"
     )
+    chaos_summary = engine.summary() if engine is not None else None
+    if chaos_summary is not None:
+        out.write(
+            f"  chaos {chaos_summary['spec_name']!r} "
+            f"(intensity {chaos_summary['intensity']:g}): "
+            f"{chaos_summary['machines_failed']} machines failed, "
+            f"{chaos_summary['ticks_dropped']} ticks dropped, "
+            f"{chaos_summary['ticks_delayed']} delayed, "
+            f"{chaos_summary['degraded_ticks']} degraded, "
+            f"{chaos_summary['allocation_deficits']} allocation deficit(s)\n"
+        )
     if recorder is not None:
         events = recorder.events()
         if args.trace_out:
@@ -394,6 +453,7 @@ def _run_job(args, out, graph, profile, table, policy, deadline: float) -> int:
         run_report = telemetry_report.from_audit_and_trace(
             trace, records, policy=args.policy, table=table, slack=slack,
             title=f"{graph.name} / {args.policy}",
+            chaos=telemetry_report.chaos_rows_from_summary(chaos_summary),
         )
         fmt = telemetry_report.write(run_report, args.report_out)
         out.write(f"  wrote {fmt} report to {args.report_out}\n")

@@ -9,12 +9,19 @@ delays, which both shrink cluster capacity and kill co-located tasks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.machine import MachinePark
 from repro.simkit.events import Simulator
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
+_SCRIPTED = _metrics.REGISTRY.counter(
+    "repro_cluster_scripted_failures_total",
+    "Machines killed by scripted (non-Poisson) failure injection",
+)
 
 
 class FailureInjector:
@@ -39,6 +46,7 @@ class FailureInjector:
         self._mtbf = machine_mtbf_seconds
         self._repair = repair_seconds
         self.failures_injected = 0
+        self.scripted_failures = 0
         if self._mtbf is not None:
             self._schedule_next()
 
@@ -61,13 +69,34 @@ class FailureInjector:
         self._schedule_next()
 
     def fail_now(self, machine_id: int, repair_seconds: Optional[float] = None) -> bool:
-        """Scripted failure (used by failure-injection tests/scenarios)."""
+        """Scripted failure (used by failure-injection tests/scenarios).
+
+        Unlike the organic Poisson path, scripted kills announce themselves:
+        a ``machine.scripted_kill`` trace event and a dedicated metric make
+        them distinguishable in any recorded timeline."""
         if not self._machines.fail(machine_id):
             return False
         self.failures_injected += 1
+        self.scripted_failures += 1
+        _SCRIPTED.inc()
         delay = self._repair if repair_seconds is None else repair_seconds
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self._sim.now, "machine.scripted_kill",
+                     machine=machine_id, repair_seconds=delay)
         self._sim.schedule(delay, lambda: self._machines.repair(machine_id))
         return True
+
+    def fail_batch(
+        self,
+        machine_ids: Sequence[int],
+        repair_seconds: Optional[float] = None,
+    ) -> int:
+        """Scripted correlated failure: kill a batch of machines at once
+        (rack/PDU loss).  Returns how many actually went down."""
+        return sum(
+            1 for m in machine_ids if self.fail_now(m, repair_seconds)
+        )
 
 
 __all__ = ["FailureInjector"]

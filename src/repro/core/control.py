@@ -44,10 +44,21 @@ _ALLOCATION = _metrics.REGISTRY.gauge(
     "Most recently applied allocation",
     labelnames=("predictor",),
 )
+_DEGRADED = _metrics.REGISTRY.counter(
+    "repro_control_degraded_ticks_total",
+    "Ticks decided without a live predictor (fallback or hold)",
+    labelnames=("predictor", "mode"),
+)
 
 
 class ControlError(ValueError):
     """Raised for invalid control configuration."""
+
+
+class PredictorUnavailable(RuntimeError):
+    """The remaining-time model cannot answer right now (blackout, stale
+    table, model service down).  The controller degrades gracefully: see
+    :meth:`JockeyController.decide`."""
 
 
 class Predictor(Protocol):
@@ -103,6 +114,15 @@ class ControlConfig:
     min_tokens: int = 1
     max_tokens: int = 100
     allocation_step: int = 5
+    #: When the predictor is unavailable, reuse the last successful
+    #: per-candidate predictions for up to this long (then hold).
+    fallback_staleness_seconds: float = 600.0
+    #: Degraded decisions widen the dead zone by this factor: stale
+    #: predictions should move the allocation only for clear lateness.
+    degraded_dead_zone_factor: float = 2.0
+    #: False disables the last-known-good fallback entirely (ablation):
+    #: predictor outages freeze the allocation at its current value.
+    degraded_fallback: bool = True
 
     def __post_init__(self):
         if self.period_seconds <= 0:
@@ -117,6 +137,10 @@ class ControlConfig:
             raise ControlError("need 1 <= min_tokens <= max_tokens")
         if self.allocation_step < 1:
             raise ControlError("allocation step must be >= 1")
+        if self.fallback_staleness_seconds < 0:
+            raise ControlError("fallback staleness bound must be >= 0")
+        if self.degraded_dead_zone_factor < 1:
+            raise ControlError("degraded dead-zone factor must be >= 1")
 
     def allocation_grid(self) -> List[int]:
         grid = list(range(self.min_tokens, self.max_tokens + 1, self.allocation_step))
@@ -152,6 +176,9 @@ class JockeyController:
         self.config = config
         self._utility = utility
         self._effective = utility.shifted_left(config.dead_zone_seconds)
+        self._degraded_effective = utility.shifted_left(
+            config.dead_zone_seconds * config.degraded_dead_zone_factor
+        )
         # Candidate allocations.  A C(p, a) table clamps queries below its
         # smallest simulated allocation (it has no data there), so the grid
         # must not extend beneath it — otherwise 1 token "predicts" the
@@ -162,6 +189,12 @@ class JockeyController:
             self._grid = floored or [grid_floor]
         self._smoothed: Optional[float] = None
         self._stage_names = tuple(stage_names)
+        #: Last successful per-candidate predictions: (elapsed, [seconds
+        #: remaining at each grid allocation]).  The degraded fallback
+        #: re-optimizes over these while the predictor is unreachable.
+        self._last_good: Optional[Tuple[float, List[float]]] = None
+        #: Ticks decided without a live predictor (fallback or hold).
+        self.degraded_ticks = 0
         self.decisions: List[ControlDecision] = []
         #: Per-tick decision trail (progress, per-candidate predictions,
         #: raw/dead-zone/hysteresis chain); ``audit.decisions()`` is the
@@ -183,6 +216,9 @@ class JockeyController:
         """Change the job's utility (e.g. the deadline moved, §5.2)."""
         self._utility = utility
         self._effective = utility.shifted_left(self.config.dead_zone_seconds)
+        self._degraded_effective = utility.shifted_left(
+            self.config.dead_zone_seconds * self.config.degraded_dead_zone_factor
+        )
 
     # ------------------------------------------------------------------
 
@@ -206,6 +242,7 @@ class JockeyController:
                 self.predictor.remaining_seconds(fractions, a)
                 for a in self._grid
             ]
+        self._last_good = (elapsed, [float(p) for p in predictions])
         for a, predicted in zip(self._grid, predictions):
             remaining = self.config.slack * float(predicted)
             u = self._effective.value(elapsed + remaining)
@@ -269,9 +306,76 @@ class JockeyController:
             )
         return {s: 0.0 for s in self._stage_names}
 
+    def _degraded_raw(
+        self, elapsed: float
+    ) -> Tuple[int, Tuple[_audit.CandidateEval, ...], str, float]:
+        """Pick an allocation without a live predictor.
+
+        With a fresh-enough last-known-good prediction set (and the
+        fallback enabled), re-run the argmin over those cached predictions
+        under the *widened* dead zone: as ``elapsed`` grows during an
+        outage, lateness still drives the allocation up.  The result is
+        floored at the current smoothed allocation — stale data may demand
+        *more* resources, never release them (a downward revision waits
+        for the predictor to come back).  Otherwise hold the current
+        allocation (degraded-hold)."""
+        config = self.config
+        if self._last_good is not None:
+            last_elapsed, predictions = self._last_good
+            staleness = elapsed - last_elapsed
+            if (
+                config.degraded_fallback
+                and staleness <= config.fallback_staleness_seconds
+            ):
+                floor = (
+                    int(round(self._smoothed))
+                    if self._smoothed is not None else self._grid[0]
+                )
+                best_u = -math.inf
+                candidates = []
+                for a, predicted in zip(self._grid, predictions):
+                    remaining = config.slack * predicted
+                    u = self._degraded_effective.value(elapsed + remaining)
+                    candidates.append(_audit.CandidateEval(a, remaining, u))
+                    best_u = max(best_u, u)
+                for cand in candidates:
+                    if cand.utility >= best_u - 1e-9:
+                        raw = max(cand.allocation, floor)
+                        return raw, tuple(candidates), "fallback", staleness
+        else:
+            staleness = elapsed
+        if self._smoothed is not None:
+            hold = int(round(self._smoothed))
+        else:
+            hold = self._grid[-1]  # no information at all: be safe
+        return hold, (), "hold", staleness
+
+    def _cached_remaining(self, allocation: int) -> float:
+        """Last-known-good prediction at the grid point nearest
+        ``allocation`` (0.0 when nothing was ever predicted)."""
+        if self._last_good is None:
+            return 0.0
+        _elapsed, predictions = self._last_good
+        nearest = min(
+            range(len(self._grid)), key=lambda i: abs(self._grid[i] - allocation)
+        )
+        return predictions[nearest]
+
     def decide(self, fractions: Mapping[str, float], elapsed: float) -> ControlDecision:
-        """One control iteration."""
-        raw, _rem, _u, candidates, dead_zone = self._raw_allocation(fractions, elapsed)
+        """One control iteration.
+
+        If the predictor raises :class:`PredictorUnavailable`, the tick is
+        decided in degraded mode (see :meth:`_degraded_raw`) instead of
+        propagating the outage into the run loop."""
+        degraded_mode: Optional[str] = None
+        staleness = 0.0
+        try:
+            raw, _rem, _u, candidates, dead_zone = self._raw_allocation(
+                fractions, elapsed
+            )
+        except PredictorUnavailable:
+            raw, candidates, degraded_mode, staleness = self._degraded_raw(elapsed)
+            dead_zone = False
         prev_smoothed = self._smoothed
         if self._smoothed is None:
             self._smoothed = float(raw)
@@ -281,15 +385,22 @@ class JockeyController:
             max(math.ceil(self._smoothed - 1e-9), self.config.min_tokens),
             self.config.max_tokens,
         ))
-        predicted = self.config.slack * self.predictor.remaining_seconds(
-            fractions, allocation
-        )
+        if degraded_mode is None:
+            predicted = self.config.slack * self.predictor.remaining_seconds(
+                fractions, allocation
+            )
+            utility_now = self._effective.value(elapsed + predicted)
+        else:
+            # The predictor would raise again: price the applied allocation
+            # from the cached curve, under the widened dead zone.
+            predicted = self.config.slack * self._cached_remaining(allocation)
+            utility_now = self._degraded_effective.value(elapsed + predicted)
         decision = ControlDecision(
             raw=raw,
             smoothed=self._smoothed,
             allocation=allocation,
             predicted_remaining=predicted,
-            utility=self._effective.value(elapsed + predicted),
+            utility=utility_now,
         )
         self.decisions.append(decision)
         progress = self._observed_progress(fractions)
@@ -313,6 +424,17 @@ class JockeyController:
             _DEAD_ZONE.labels(predictor=predictor_name).inc()
         _ALLOCATION.labels(predictor=predictor_name).set(allocation)
         rec = _trace.RECORDER
+        if degraded_mode is not None:
+            self.degraded_ticks += 1
+            _DEGRADED.labels(predictor=predictor_name, mode=degraded_mode).inc()
+            if rec.enabled:
+                rec.emit(
+                    elapsed, "control.degraded",
+                    predictor=predictor_name,
+                    mode=degraded_mode,
+                    staleness=staleness,
+                    allocation=allocation,
+                )
         if rec.enabled:
             rec.emit(
                 elapsed, "control.tick",
@@ -335,4 +457,5 @@ __all__ = [
     "CpaPredictor",
     "JockeyController",
     "Predictor",
+    "PredictorUnavailable",
 ]

@@ -17,6 +17,7 @@ exp_fig12_13  Fig. 12 + Fig. 13 — slack and hysteresis sweeps
 exp_ablation_model  extension: online model correction (§5.6)
 exp_ablation_speculation  extension: straggler mitigation (§4.4)
 exp_multijob  extension: multi-SLO-job co-execution with the arbiter
+exp_chaos   extension: chaos-injection intensity vs SLO attainment
 ==========  ==========================================================
 """
 

@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chaos.spec import ChaosSpec
 from repro.cluster import Cluster, ClusterConfig, LoadEpisode
 from repro.core.control import ControlConfig
 from repro.core.policies import AllocationPolicy
@@ -65,6 +66,10 @@ class RunConfig:
     #: Optional straggler mitigation (speculative duplicates, §4.4).
     speculation: Optional[SpeculationConfig] = None
     max_virtual_seconds: float = 12 * 3600.0
+    #: Chaos-injection schedule for this run (None = calm cluster); see
+    #: :mod:`repro.chaos`.  Enables the job manager's allocation-retry
+    #: backoff so clamped requests are re-asked.
+    chaos: Optional[ChaosSpec] = None
     #: Record structured trace events for this run (implied by trace_path);
     #: the events land in ``ExperimentResult.trace_events``.
     capture_trace: bool = False
@@ -114,6 +119,9 @@ class ExperimentResult:
     #: The controller's per-tick decision audit (empty for non-controller
     #: policies): progress, candidate predictions, raw/dead-zone/hysteresis.
     audit_records: List[TickRecord] = field(default_factory=list)
+    #: Chaos-engine counters (None for calm runs): events fired per
+    #: injector, degraded ticks, allocation deficits/retries.
+    chaos_summary: Optional[dict] = None
 
     def slo_report(self, *, table=None):
         """SLO attainment for this run, computed from its own artifacts
@@ -179,9 +187,23 @@ def run_experiment(
             rng=rng.stream("job"),
             deadline=config.deadline_seconds,
             speculation=config.speculation,
+            allocation_retry=config.chaos is not None,
         )
+        engine = None
+        if config.chaos is not None:
+            from repro.chaos.engine import ChaosEngine
 
-        def control_tick() -> None:
+            engine = ChaosEngine(
+                config.chaos,
+                sim=sim,
+                cluster=cluster,
+                manager=manager,
+                policy=policy,
+                seed=derive_seed(config.seed, "chaos"),
+            )
+            engine.install()
+
+        def tick_body() -> None:
             if manager.finished:
                 return
             new_allocation = policy.on_tick(manager.snapshot())
@@ -190,6 +212,18 @@ def run_experiment(
             decision = policy.last_decision()
             if decision is not None:
                 raw_series.append((sim.now / 60.0, decision.raw))
+
+        def control_tick() -> None:
+            if manager.finished:
+                return
+            if engine is not None:
+                disposition, delay = engine.tick_disposition()
+                if disposition == "drop":
+                    return
+                if disposition == "delay":
+                    sim.schedule(delay, tick_body)
+                    return
+            tick_body()
 
         if policy.adaptive:
             sim.schedule_every(config.control_period, control_tick)
@@ -229,6 +263,7 @@ def run_experiment(
         control_config=getattr(controller, "config", None),
         trace_events=trace_events,
         audit_records=audit.decisions() if audit is not None else [],
+        chaos_summary=engine.summary() if engine is not None else None,
     )
 
 

@@ -220,11 +220,51 @@ def table_from_dict(data: Dict) -> CpaTable:
 
 
 # ----------------------------------------------------------------------
-# Bundles
+# Chaos schedules
 # ----------------------------------------------------------------------
 
 
 PathLike = Union[str, pathlib.Path]
+
+
+def save_chaos_spec(path: PathLike, spec) -> None:
+    """Write a :class:`repro.chaos.ChaosSpec` as JSON."""
+    from repro.chaos.spec import spec_to_dict
+
+    payload = {"format_version": FORMAT_VERSION, "chaos": spec_to_dict(spec)}
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_chaos_spec(path: PathLike):
+    """Read a chaos schedule written by :func:`save_chaos_spec` (or
+    hand-written: a bare spec object without the envelope also loads).
+    Malformed content raises :class:`PersistError`; semantic validation
+    against a concrete cluster/job happens at engine construction."""
+    from repro.chaos.spec import ChaosError, spec_from_dict
+
+    try:
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistError(f"not valid JSON: {exc}") from exc
+    if isinstance(payload, dict) and "chaos" in payload:
+        version = payload.get("format_version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise PersistError(
+                f"unsupported chaos spec version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        payload = payload["chaos"]
+    try:
+        return spec_from_dict(payload)
+    except ChaosError as exc:
+        raise PersistError(f"malformed chaos spec: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Bundles
+# ----------------------------------------------------------------------
 
 
 def save_bundle(
@@ -275,6 +315,8 @@ __all__ = [
     "graph_from_dict",
     "graph_to_dict",
     "load_bundle",
+    "load_chaos_spec",
+    "save_chaos_spec",
     "profile_from_dict",
     "profile_to_dict",
     "save_bundle",

@@ -60,6 +60,14 @@ _TASK_SECONDS_OUTCOMES = {
 _STARTS = _metrics.REGISTRY.counter(
     "repro_runtime_task_starts_total", "Task attempts started"
 )
+_ALLOCATION_DEFICITS = _metrics.REGISTRY.counter(
+    "repro_control_allocation_deficits_total",
+    "Allocation requests the pool could not fully honor",
+)
+_ALLOCATION_RETRIES = _metrics.REGISTRY.counter(
+    "repro_control_allocation_retries_total",
+    "Backoff retries of clamped allocation requests",
+)
 _JOBS_DONE = _metrics.REGISTRY.counter(
     "repro_runtime_jobs_completed_total", "Jobs run to completion"
 )
@@ -118,6 +126,10 @@ class JobManager:
         speculation: Optional[SpeculationConfig] = None,
         use_spare_tokens: bool = True,
         spare_weight: Optional[float] = None,
+        allocation_retry: bool = False,
+        retry_backoff_seconds: float = 5.0,
+        retry_backoff_factor: float = 2.0,
+        retry_max_attempts: int = 5,
     ):
         if behavior.graph is not graph and behavior.graph.name != graph.name:
             raise JobManagerError("behavior profile does not match graph")
@@ -146,6 +158,20 @@ class JobManager:
         self.duplicates_won = 0
         self._completed_tasks = 0
         self._total_tasks = graph.num_vertices
+        # Arbiter-rejection handling: when the pool clamps a request below
+        # what was asked, optionally re-ask on a deterministic exponential
+        # backoff (chaos runs turn this on; a newer request supersedes any
+        # pending retry).
+        self._allocation_retry = allocation_retry
+        if retry_backoff_seconds <= 0 or retry_backoff_factor < 1:
+            raise JobManagerError("bad allocation retry backoff")
+        self._retry_backoff = retry_backoff_seconds
+        self._retry_factor = retry_backoff_factor
+        self._retry_max_attempts = retry_max_attempts
+        self._retry_handle = None
+        self._last_requested: Optional[int] = None
+        self.allocation_deficits = 0
+        self.allocation_retries = 0
         self.start_time = self.sim.now
         self.finished = False
         self.trace = RunTrace(
@@ -179,19 +205,59 @@ class JobManager:
         """Currently requested guaranteed tokens."""
         return self.consumer.guaranteed
 
-    def set_allocation(self, tokens: int) -> int:
+    def set_allocation(self, tokens: int, *, _retry_attempt: int = 0) -> int:
         """Request ``tokens`` guaranteed tokens (Jockey's knob).  The pool
         may clamp to the cluster's guaranteed headroom; the applied value is
-        returned and recorded in the trace."""
+        returned and recorded in the trace.
+
+        When the clamp bites (the arbiter could not honor the request) the
+        deficit is recorded in telemetry, and — with ``allocation_retry``
+        on — the same request is retried on an exponential backoff until
+        honored, superseded by a newer request, or out of attempts."""
         if tokens < 0:
             raise JobManagerError(f"negative allocation {tokens!r}")
+        if _retry_attempt == 0:
+            self._last_requested = tokens
+            self._cancel_pending_retry()
         applied = self.cluster.pool.set_guaranteed(self.name, tokens)
         self.trace.mark_allocation(self.sim.now, applied)
         rec = _trace.RECORDER
         if rec.enabled:
             rec.emit(self.sim.now, "job.allocation",
                      job=self.name, requested=tokens, applied=applied)
+        if applied < tokens and not self.finished:
+            self.allocation_deficits += 1
+            _ALLOCATION_DEFICITS.inc()
+            if rec.enabled:
+                rec.emit(self.sim.now, "control.allocation_deficit",
+                         job=self.name, requested=tokens, applied=applied,
+                         deficit=tokens - applied, attempt=_retry_attempt)
+            if self._allocation_retry and _retry_attempt < self._retry_max_attempts:
+                delay = self._retry_backoff * self._retry_factor ** _retry_attempt
+                self._retry_handle = self.sim.schedule(
+                    delay,
+                    lambda t=tokens, a=_retry_attempt + 1: self._retry_allocation(t, a),
+                )
         return applied
+
+    def _cancel_pending_retry(self) -> None:
+        if self._retry_handle is not None:
+            self._retry_handle.cancel()
+            self._retry_handle = None
+
+    def _retry_allocation(self, tokens: int, attempt: int) -> None:
+        """Backoff retry of a clamped request; a newer request (different
+        target) or job completion makes it a no-op."""
+        self._retry_handle = None
+        if self.finished or tokens != self._last_requested:
+            return
+        self.allocation_retries += 1
+        _ALLOCATION_RETRIES.inc()
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(self.sim.now, "control.allocation_retry",
+                     job=self.name, requested=tokens, attempt=attempt)
+        self.set_allocation(tokens, _retry_attempt=attempt)
 
     def snapshot(self) -> JobSnapshot:
         """Observable state for progress indicators and the control loop."""

@@ -73,6 +73,38 @@ class RunReport:
     #: (seconds, progress in [0, 1]) from the controller's indicator.
     progress_series: Tuple[Tuple[float, float], ...] = ()
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    #: (label, count) rows for the chaos-injection section; empty when the
+    #: run had no chaos engine attached.
+    chaos: Tuple[Tuple[str, float], ...] = ()
+
+
+#: Display order and labels for the flat dict ChaosEngine.summary() returns.
+_CHAOS_SUMMARY_LABELS = (
+    ("rack_batches", "rack failure batches"),
+    ("machines_failed", "machines failed"),
+    ("eviction_storms", "eviction storms"),
+    ("token_shocks", "token-supply shocks"),
+    ("tokens_seized_peak", "peak tokens seized"),
+    ("profile_drifts", "profile drifts"),
+    ("ticks_dropped", "control ticks dropped"),
+    ("ticks_delayed", "control ticks delayed"),
+    ("blackout_hits", "predictor blackout hits"),
+    ("degraded_ticks", "degraded control ticks"),
+    ("allocation_deficits", "allocation deficits"),
+    ("allocation_retries", "allocation retries"),
+)
+
+
+def chaos_rows_from_summary(summary: Optional[Dict]) -> Tuple[Tuple[str, float], ...]:
+    """Turn a :meth:`ChaosEngine.summary` dict into report rows (skipping
+    zero counters so quiet injectors do not pad the table)."""
+    if not summary:
+        return ()
+    return tuple(
+        (label, float(summary[key]))
+        for key, label in _CHAOS_SUMMARY_LABELS
+        if summary.get(key)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -91,6 +123,7 @@ def from_audit_and_trace(
     title: Optional[str] = None,
     extra_scorecards: Sequence[Scorecard] = (),
     notes: Sequence[str] = (),
+    chaos: Sequence[Tuple[str, float]] = (),
 ) -> RunReport:
     """Report for a finished :class:`~repro.jobs.trace.RunTrace` plus its
     controller audit trail (the in-process case)."""
@@ -117,6 +150,7 @@ def from_audit_and_trace(
             if getattr(r, "progress", None) is not None
         ),
         notes=tuple(notes),
+        chaos=tuple(chaos),
     )
 
 
@@ -173,6 +207,7 @@ def from_result(result, *, table=None, title: Optional[str] = None) -> RunReport
             if r.progress is not None
         ),
         notes=tuple(notes),
+        chaos=chaos_rows_from_summary(getattr(result, "chaos_summary", None)),
     )
 
 
@@ -200,8 +235,15 @@ def from_trace_events(
     allocation_series: List[Tuple[float, float]] = []
     tasks: List[TaskRecord] = []
     predictor = None
+    chaos_counts: Dict[str, int] = {}
     for event in events:
         fields = event.fields
+        if event.kind.startswith("chaos.") or event.kind in (
+            "control.degraded",
+            "control.allocation_deficit",
+            "control.allocation_retry",
+        ):
+            chaos_counts[event.kind] = chaos_counts.get(event.kind, 0) + 1
         if event.kind == "job.complete":
             complete = event
         elif event.kind == "control.tick":
@@ -260,6 +302,10 @@ def from_trace_events(
         notes.append(
             "no task.end events in window: CPU-seconds and spend ratio are 0"
         )
+    chaos_rows = tuple(
+        (f"{kind} events", float(count))
+        for kind, count in sorted(chaos_counts.items())
+    )
     return from_audit_and_trace(
         trace,
         ticks,
@@ -268,6 +314,7 @@ def from_trace_events(
         slack=slack,
         title=title if title is not None else f"{job} / {policy_name} (from trace)",
         notes=notes,
+        chaos=chaos_rows,
     )
 
 
@@ -575,6 +622,17 @@ def render_html(report: RunReport) -> str:
             f"<table><thead><tr>{head}</tr></thead>"
             f"<tbody>{''.join(rows)}</tbody></table>"
         )
+    chaos_html = ""
+    if report.chaos:
+        rows = "".join(
+            f"<tr><td>{_html.escape(label)}</td><td>{value:g}</td></tr>"
+            for label, value in report.chaos
+        )
+        chaos_html = (
+            "<h2>Chaos injection</h2>"
+            "<table><thead><tr><th>Event</th><th>Count</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
     notes_html = ""
     if report.notes:
         items = "".join(f"<li>{_html.escape(n)}</li>" for n in report.notes)
@@ -596,6 +654,7 @@ def render_html(report: RunReport) -> str:
 <h2>Timelines</h2>
 {''.join(charts) if charts else '<p class="notes">no time series recorded</p>'}
 {scorecard_html}
+{chaos_html}
 {notes_html}
 <footer>deadline-risk = P(slack &times; C(p, a) &gt; time left) at each
  applied allocation; spend ratio = requested token-seconds per CPU-second
@@ -647,6 +706,14 @@ def render_text(report: RunReport) -> str:
                 list(SCORECARD_HEADERS), scorecard_rows(report.scorecards)
             )
         )
+    if report.chaos:
+        lines.append("")
+        lines.append(
+            ascii_table(
+                ["chaos event", "count"],
+                [(label, f"{value:g}") for label, value in report.chaos],
+            )
+        )
     for note in report.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines) + "\n"
@@ -669,6 +736,7 @@ __all__ = [
     "ReportError",
     "RunReport",
     "TickView",
+    "chaos_rows_from_summary",
     "from_audit_and_trace",
     "from_result",
     "from_trace_events",

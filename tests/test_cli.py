@@ -285,3 +285,125 @@ class TestObservatory:
         code, text = run_cli("report", str(empty))
         assert code == 1
         assert "no trace events" in text
+
+
+class TestChaos:
+    """The --chaos flag: spec loading, error paths, the summary line,
+    and the golden help text."""
+
+    @pytest.fixture(scope="class")
+    def bundle(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("chaos_cli") / "bundle.json"
+        code, _text = run_cli(
+            "train", "--job", "mapreduce", "--out", str(path),
+            "--cpa-reps", "2", "--seed", "4",
+        )
+        assert code == 0
+        return path
+
+    def _write_spec(self, tmp_path, payload):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_malformed_json_exits_two_with_usage(self, bundle, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text("{not json", encoding="utf-8")
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--chaos", str(spec),
+        )
+        assert code == 2
+        assert "cannot load chaos spec" in text
+        assert "usage: repro run --chaos SPEC.json" in text
+        assert "EXPERIMENTS.md" in text
+
+    def test_unknown_field_exits_two(self, bundle, tmp_path):
+        spec = self._write_spec(tmp_path, {"name": "x", "bogus_field": 1})
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--chaos", str(spec),
+        )
+        assert code == 2
+        assert "cannot load chaos spec" in text
+
+    def test_missing_spec_file_exits_two(self, bundle, tmp_path):
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--chaos", str(tmp_path / "nope.json"),
+        )
+        assert code == 2
+        assert "cannot load chaos spec" in text
+
+    def test_unknown_machine_exits_one_named(self, bundle, tmp_path):
+        # Valid JSON, valid schema — but machine 5000 does not exist in a
+        # 100-machine cluster. That is a runtime failure, not a usage one.
+        spec = self._write_spec(tmp_path, {
+            "name": "bad-machine",
+            "rack_failures": [{"at": 10.0, "machines": [5000]}],
+        })
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--chaos", str(spec),
+        )
+        assert code == 1
+        assert "ChaosError" in text
+        assert "5000" in text
+
+    def test_unknown_stage_exits_one_named(self, bundle, tmp_path):
+        spec = self._write_spec(tmp_path, {
+            "name": "bad-stage",
+            "profile_drifts": [{"at": 10.0, "stages": ["no-such-stage"]}],
+        })
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--chaos", str(spec),
+        )
+        assert code == 1
+        assert "ChaosError" in text
+        assert "no-such-stage" in text
+
+    def test_run_with_chaos_prints_summary_line(self, bundle, tmp_path):
+        spec = self._write_spec(tmp_path, {
+            "name": "storm",
+            "rack_failures": [{"at": 60.0, "count": 3,
+                               "repair_seconds": 300.0}],
+            "control_faults": {"drop_tick_prob": 0.2,
+                               "blackouts": [[100.0, 600.0]]},
+        })
+        code, text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--chaos", str(spec),
+        )
+        assert code in (0, 1)
+        assert "chaos 'storm'" in text
+        assert "machines failed" in text
+
+    def test_chaos_section_lands_in_report(self, bundle, tmp_path):
+        spec = self._write_spec(tmp_path, {
+            "name": "storm",
+            "rack_failures": [{"at": 60.0, "count": 3}],
+        })
+        report = tmp_path / "report.html"
+        code, _text = run_cli(
+            "run", "--bundle", str(bundle), "--deadline-minutes", "60",
+            "--seed", "2", "--chaos", str(spec),
+            "--report-out", str(report),
+        )
+        assert code in (0, 1)
+        html = report.read_text(encoding="utf-8")
+        assert "Chaos injection" in html
+        assert "machines failed" in html
+
+    def test_run_help_matches_golden(self, monkeypatch, capsys):
+        import pathlib
+
+        monkeypatch.setenv("COLUMNS", "80")
+        code, _text = run_cli("run", "--help")
+        assert code == 0
+        got = capsys.readouterr().out
+        golden = pathlib.Path(__file__).parent / "golden" / "run_help.txt"
+        assert got == golden.read_text(encoding="utf-8"), (
+            "help text drifted; regenerate tests/golden/run_help.txt "
+            "(COLUMNS=80) if the change is intentional"
+        )

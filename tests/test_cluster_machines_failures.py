@@ -89,6 +89,40 @@ class TestFailureInjector:
         injector.fail_now(1)
         assert injector.fail_now(1) is False
 
+    def test_scripted_failure_emits_telemetry(self):
+        """Regression: a scripted kill announces itself — trace event,
+        dedicated metric, and the ``scripted_failures`` counter — so it
+        is distinguishable from organic Poisson churn in any timeline."""
+        from repro.telemetry import trace as telemetry_trace
+        from repro.telemetry.metrics import REGISTRY
+
+        sim = Simulator()
+        park = MachinePark(5, 2)
+        injector = FailureInjector(sim, park, np.random.default_rng(0))
+        metric = REGISTRY.counter("repro_cluster_scripted_failures_total")
+        before = metric.value
+        with telemetry_trace.capture() as recorder:
+            assert injector.fail_now(2, repair_seconds=40.0)
+        events = [e for e in recorder.events()
+                  if e.kind == "machine.scripted_kill"]
+        assert len(events) == 1
+        assert events[0].fields["machine"] == 2
+        assert events[0].fields["repair_seconds"] == 40.0
+        assert metric.value == before + 1
+        assert injector.scripted_failures == 1
+        assert injector.failures_injected == 1
+
+    def test_fail_batch_counts_only_newly_downed(self):
+        sim = Simulator()
+        park = MachinePark(5, 2)
+        injector = FailureInjector(sim, park, np.random.default_rng(0))
+        injector.fail_now(0)
+        assert injector.fail_batch([0, 1, 2], repair_seconds=30.0) == 2
+        assert park.up_count == 2
+        assert injector.scripted_failures == 3
+        sim.run(until=1000.0)
+        assert park.up_count == 5
+
     def test_poisson_failures_occur_and_repair(self):
         sim = Simulator()
         park = MachinePark(50, 2)
