@@ -17,6 +17,11 @@ Layering (bottom to top):
 * :mod:`repro.telemetry` — metrics registry, structured trace recorder,
   Chrome/JSONL exporters, and the control-loop decision audit.
 * :mod:`repro.persist` — JSON bundles for trained models.
+* :mod:`repro.chaos` — declarative fault injection: cluster and
+  control-plane fault schedules replayed deterministically.
+* :mod:`repro.fleet` — recurring-job fleets: the cross-run profile store,
+  online update policies, and the drift-gated model refresh
+  (``repro fleet run`` / ``repro fleet stats``).
 * :mod:`repro.cache` — content-addressed on-disk store for trained
   C(p, a) tables (``REPRO_CACHE_DIR``, ``repro cache stats``).
 * :mod:`repro.parallel` — process-pool fan-out for model builds and
@@ -59,7 +64,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AmdahlModel",

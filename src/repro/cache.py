@@ -51,6 +51,9 @@ _CORRUPT = _metrics.REGISTRY.counter(
 _STORES = _metrics.REGISTRY.counter(
     "repro_cache_stores_total", "C(p, a) tables written to the cache"
 )
+_PRUNED = _metrics.REGISTRY.counter(
+    "repro_cache_pruned_total", "Cache entries evicted by LRU pruning"
+)
 
 
 class CacheError(ValueError):
@@ -237,7 +240,44 @@ class CpaTableCache:
             "misses": counts.get("misses", 0),
             "stores": counts.get("stores", 0),
             "corrupt": counts.get("corrupt", 0),
+            "pruned": counts.get("pruned", 0),
         }
+
+    def prune(self, max_bytes: int) -> "tuple[int, int]":
+        """Evict least-recently-used entries (by mtime, oldest first) until
+        the cache fits in ``max_bytes``; returns ``(removed, freed_bytes)``.
+
+        A cache hit rewrites nothing, so mtime here is write-recency —
+        close enough to LRU for a build cache, and free.  Name breaks
+        mtime ties to keep eviction order deterministic.
+        """
+        if max_bytes < 0:
+            raise CacheError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        sized = []
+        total = 0
+        for path in self.entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            sized.append((st.st_mtime, path.name, st.st_size, path))
+            total += st.st_size
+        removed = 0
+        freed = 0
+        for _mtime, _name, size, path in sorted(sized):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        if removed:
+            _PRUNED.inc(removed)
+            self._bump(pruned=removed)
+        return removed, freed
 
     def clear(self) -> int:
         """Delete every entry (and the stats file); returns entries removed."""

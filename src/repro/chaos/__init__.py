@@ -14,6 +14,7 @@ a fixed (seed, spec) at any worker count.
 """
 
 from repro.chaos.engine import ChaosEngine, maybe_engine
+from repro.chaos.injectors import drifted_profile
 from repro.chaos.spec import (
     ChaosError,
     ChaosSpec,
@@ -35,6 +36,7 @@ __all__ = [
     "ProfileDrift",
     "RackFailure",
     "TokenShock",
+    "drifted_profile",
     "maybe_engine",
     "spec_from_dict",
     "spec_to_dict",

@@ -180,6 +180,28 @@ class TokenShockInjector:
         _emit(now, "token_shock", requested=want, seized=applied)
 
 
+def drifted_profile(profile, drift: ProfileDrift):
+    """``profile`` with one :class:`ProfileDrift` applied (runtime/init
+    scaled by ``factor`` on the named stages, or every stage when none are
+    named).  Shared by the live injector below and the fleet driver's
+    day-level ground-truth drift (:mod:`repro.fleet.driver`)."""
+    if not drift.stages:
+        return profile.with_runtime_scale(drift.factor)
+    from repro.jobs.profiles import JobProfile
+
+    stages = {}
+    for name in profile.stage_names:
+        sp = profile.stage(name)
+        if name in drift.stages:
+            sp = replace(
+                sp,
+                runtime=scale_dist(sp.runtime, drift.factor),
+                init=scale_dist(sp.init, drift.factor),
+            )
+        stages[name] = sp
+    return JobProfile(profile.graph, stages)
+
+
 class ProfileDriftInjector:
     """Scale the live job's stage costs away from the trained profile."""
 
@@ -194,23 +216,7 @@ class ProfileDriftInjector:
             self._sim.schedule_at(drift.at, lambda d=drift: self._apply(d))
 
     def _apply(self, drift: ProfileDrift) -> None:
-        behavior = self._manager.behavior
-        if not drift.stages:
-            self._manager.behavior = behavior.with_runtime_scale(drift.factor)
-        else:
-            from repro.jobs.profiles import JobProfile
-
-            stages = {}
-            for name in behavior.stage_names:
-                sp = behavior.stage(name)
-                if name in drift.stages:
-                    sp = replace(
-                        sp,
-                        runtime=scale_dist(sp.runtime, drift.factor),
-                        init=scale_dist(sp.init, drift.factor),
-                    )
-                stages[name] = sp
-            self._manager.behavior = JobProfile(behavior.graph, stages)
+        self._manager.behavior = drifted_profile(self._manager.behavior, drift)
         self.drifts_applied += 1
         _emit(self._sim.now, "profile_drift",
               factor=drift.factor, stages=list(drift.stages) or "all")
@@ -324,4 +330,5 @@ __all__ = [
     "ProfileDriftInjector",
     "RackFailureInjector",
     "TokenShockInjector",
+    "drifted_profile",
 ]

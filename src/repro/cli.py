@@ -12,6 +12,10 @@ Commands mirror the operational workflow of the paper's system:
   metrics-registry snapshot as JSON.
 * ``experiment`` — regenerate one of the paper's tables/figures.
 * ``list-experiments`` — enumerate the available experiment ids.
+* ``fleet run`` — simulate a fleet of recurring job templates over many
+  days: every run is re-profiled into the cross-run profile store and a
+  drift detector gates C(p, a) rebuilds (``fleet stats`` inspects the
+  store's lineages).
 * ``trace summarize <file>`` — per-kind table for a recorded trace.
 * ``report <file>`` — SLO attainment report (verdict, margin, risk
   timeline, prediction scorecard) from a recorded trace; ``--out x.html``
@@ -30,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace as replace_dc
 from typing import List, Optional, Sequence
 
 from repro import __version__, persist
@@ -50,6 +55,7 @@ from repro.core.policies import (
 )
 from repro.core.progress import totalwork_with_q
 from repro.core.utility import deadline_utility
+from repro.fleet.driver import MODEL_MODES as FLEET_MODEL_MODES
 from repro.jobs.profiles import JobProfile
 from repro.jobs.workloads import TABLE2_SPECS, generate_job, mapreduce_job
 from repro.runtime.jobmanager import JobManager, run_to_completion
@@ -76,6 +82,7 @@ EXPERIMENTS = {
     "multijob": ("exp_multijob", "run"),
     "sec2.4": ("exp_section24", "run"),
     "chaos": ("exp_chaos", "run"),
+    "fleet": ("exp_fleet", "run"),
 }
 
 POLICY_CHOICES = (
@@ -182,6 +189,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-experiments", help="list experiment ids")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate recurring-job fleets over the cross-run profile store",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="run N job templates for M simulated days with drift-aware "
+             "model refresh",
+    )
+    fleet_run.add_argument(
+        "--templates", default="A,C", metavar="NAMES",
+        help="comma-separated job templates: A-G or mapreduce "
+             "(default: %(default)s)",
+    )
+    fleet_run.add_argument(
+        "--days", type=int, default=5,
+        help="simulated days per template (default: %(default)s)",
+    )
+    fleet_run.add_argument(
+        "--mode", default="ewma", choices=sorted(FLEET_MODEL_MODES),
+        help="model refresh mode: latest/window/ewma are drift-gated "
+             "update policies; stale never refreshes; oracle tracks the "
+             "ground truth; cold-start re-profiles daily (default: ewma)",
+    )
+    fleet_run.add_argument(
+        "--drift-day", type=int, default=None, metavar="DAY",
+        help="first day the ground-truth profile drifts (default: no drift)",
+    )
+    fleet_run.add_argument(
+        "--drift-factor", type=float, default=1.5,
+        help="runtime scale applied from --drift-day on (default: 1.5)",
+    )
+    fleet_run.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help="fleet spec file (templates/days/mode/drift/seed/scale as "
+             "JSON; overrides the flags above)",
+    )
+    fleet_run.add_argument("--seed", type=int, default=0)
+    fleet_run.add_argument(
+        "--scale", choices=("smoke", "default", "paper"), default="smoke"
+    )
+    fleet_run.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="profile-store root to persist lineages in (default: a "
+             "temporary store discarded after the run; see also "
+             "$REPRO_FLEET_DIR for `fleet stats`)",
+    )
+    fleet_run.add_argument(
+        "--digest-out", default=None, metavar="PATH",
+        help="write the per-day rows and per-template summaries as JSON",
+    )
+    fleet_run.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="render the first template's final-day run as an HTML/text "
+             "report with a fleet lineage section per template",
+    )
+    fleet_stats = fleet_sub.add_parser(
+        "stats", help="list the profile store's templates and lineages"
+    )
+    fleet_stats.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="profile-store root (default: $REPRO_FLEET_DIR or "
+             "~/.cache/repro-jockey/fleet)",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk C(p, a) model cache"
     )
@@ -190,6 +263,15 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="entry count, bytes, and cumulative hit/miss counters"
     )
     cache_sub.add_parser("clear", help="delete every cached model")
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used models until the cache fits a "
+             "byte budget",
+    )
+    cache_prune.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="target cache size in bytes (oldest entries removed first)",
+    )
 
     trace = sub.add_parser("trace", help="inspect a recorded trace file")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -484,16 +566,141 @@ def cmd_cache(args, out) -> int:
     if args.cache_command == "stats":
         stats = store.stats()
         out.write(f"cache root: {stats['root']}\n")
-        out.write(f"  entries: {stats['entries']}  "
+        out.write(f"  entries: {stats['entries']}\n")
+        out.write(f"  total size: {stats['bytes']} bytes "
                   f"({stats['bytes'] / 1024:.1f} KiB)\n")
         out.write(f"  hits: {stats['hits']}  misses: {stats['misses']}  "
-                  f"stores: {stats['stores']}  corrupt: {stats['corrupt']}\n")
+                  f"stores: {stats['stores']}  corrupt: {stats['corrupt']}  "
+                  f"pruned: {stats['pruned']}\n")
         return 0
     if args.cache_command == "clear":
         removed = store.clear()
         out.write(f"removed {removed} cached model(s) from {store.root}\n")
         return 0
+    if args.cache_command == "prune":
+        removed, freed = store.prune(args.max_bytes)
+        remaining = store.stats()
+        out.write(
+            f"pruned {removed} cached model(s) ({freed} bytes) from "
+            f"{store.root}; {remaining['entries']} entr"
+            f"{'y' if remaining['entries'] == 1 else 'ies'} "
+            f"({remaining['bytes']} bytes) remain\n"
+        )
+        return 0
     raise AssertionError("unreachable")  # pragma: no cover
+
+
+def cmd_fleet(args, out) -> int:
+    from repro.fleet.driver import (
+        FleetConfig,
+        FleetTemplate,
+        load_fleet_spec,
+        run_fleet,
+    )
+    from repro.fleet.store import FleetSpecError, ProfileStore
+
+    if args.fleet_command == "stats":
+        store = ProfileStore(args.store)
+        stats = store.stats()
+        out.write(f"fleet store root: {stats['root']}\n")
+        out.write(f"  templates: {stats['templates']}  "
+                  f"generations: {stats['generations']}  "
+                  f"({stats['bytes'] / 1024:.1f} KiB)\n")
+        for name in sorted(stats["per_template"]):
+            info = stats["per_template"][name]
+            latest = store.latest(name)
+            latest_txt = (
+                f"latest gen-{latest.number:06d}" if latest is not None
+                else "no readable generations"
+            )
+            out.write(f"  {name}: {info['generations']} generation(s), "
+                      f"{info['bytes'] / 1024:.1f} KiB, {latest_txt}\n")
+        return 0
+
+    # fleet run
+    if args.spec:
+        try:
+            templates, config = load_fleet_spec(args.spec)
+        except FleetSpecError as exc:
+            out.write(f"error: cannot load fleet spec: {exc}\n")
+            out.write(
+                "usage: repro fleet run --spec SPEC.json — SPEC.json must "
+                "be a JSON fleet spec (see EXPERIMENTS.md, 'Running a "
+                "fleet', for the format and a worked example)\n"
+            )
+            return 2
+        config = replace_dc(config, store_root=args.store)
+    else:
+        from repro.chaos.spec import ProfileDrift
+        from repro.experiments.scenarios import SCALES
+
+        names = [t.strip() for t in args.templates.split(",") if t.strip()]
+        if not names:
+            out.write("error: --templates needs at least one job name\n")
+            return 2
+        templates = [FleetTemplate(name) for name in names]
+        drift = None
+        if args.drift_day is not None:
+            drift = ProfileDrift(
+                at=float(args.drift_day), factor=args.drift_factor
+            )
+        # FleetError (e.g. an unknown template job, naming the offender)
+        # propagates to main() as a runtime failure: exit 1.
+        config = FleetConfig(
+            days=args.days,
+            model_mode=args.mode,
+            drift=drift,
+            scale=SCALES[args.scale],
+            seed=args.seed,
+            store_root=args.store,
+        )
+    if args.report_out:
+        config = replace_dc(config, keep_last_result=True)
+    result = run_fleet(templates, config)
+    out.write(
+        f"fleet: {len(templates)} template(s) x {config.days} day(s), "
+        f"mode {config.model_mode}\n"
+    )
+    for s in result.summaries:
+        out.write(
+            f"  {s.template}: attainment {100 * s.attainment:.0f}% "
+            f"({sum(1 for r in result.rows if r.template == s.template and r.met)}"
+            f"/{s.days} met), {s.rebuilds} rebuild(s), "
+            f"{s.drift_detections} drift detection(s), "
+            f"{s.profiling_runs} profiling run(s), "
+            f"mean staleness {s.mean_staleness_days:.1f} day(s), "
+            f"deadline {s.deadline_minutes:.0f} min\n"
+        )
+    if config.store_root is not None:
+        out.write(f"  profile store: {config.store_root}\n")
+    if args.digest_out:
+        with open(args.digest_out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_digest(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write(f"  wrote fleet digest to {args.digest_out}\n")
+    if args.report_out:
+        import dataclasses as _dataclasses
+
+        from repro.telemetry import report as telemetry_report
+
+        first = result.summaries[0].template
+        run_report = telemetry_report.from_result(
+            result.last_results[first],
+            title=f"fleet {first} / final day ({config.model_mode})",
+        )
+        run_report = _dataclasses.replace(
+            run_report,
+            extra_sections=tuple(
+                (
+                    f"fleet: {s.template} ({s.mode})",
+                    telemetry_report.fleet_rows_from_summary(s.to_dict()),
+                )
+                for s in result.summaries
+            ),
+        )
+        fmt = telemetry_report.write(run_report, args.report_out)
+        out.write(f"  wrote {fmt} report to {args.report_out}\n")
+    return 0
 
 
 def cmd_list_experiments(out) -> int:
@@ -581,6 +788,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_experiment(args, out)
         if args.command == "list-experiments":
             return cmd_list_experiments(out)
+        if args.command == "fleet":
+            return cmd_fleet(args, out)
         if args.command == "cache":
             return cmd_cache(args, out)
         if args.command == "trace":

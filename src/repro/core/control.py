@@ -49,6 +49,11 @@ _DEGRADED = _metrics.REGISTRY.counter(
     "Ticks decided without a live predictor (fallback or hold)",
     labelnames=("predictor", "mode"),
 )
+_REFRESHES = _metrics.REGISTRY.counter(
+    "repro_control_model_refreshes_total",
+    "In-place predictor model swaps (C(p, a) table / indicator refresh)",
+    labelnames=("predictor",),
+)
 
 
 class ControlError(ValueError):
@@ -100,6 +105,15 @@ class CpaPredictor:
         return self.table.remaining_curve(
             progress, allocations, q=self.percentile
         )
+
+    def refresh(self, table: Optional[CpaTable] = None, indicator=None) -> None:
+        """Swap in a relearned model in place (drift-aware refresh): the
+        table and indicator must be built from the *same* profile, so pass
+        both together unless only one genuinely changed."""
+        if table is not None:
+            self.table = table
+        if indicator is not None:
+            self.indicator = indicator
 
 
 @dataclass(frozen=True)
@@ -219,6 +233,41 @@ class JockeyController:
         self._degraded_effective = utility.shifted_left(
             self.config.dead_zone_seconds * self.config.degraded_dead_zone_factor
         )
+
+    def refresh_model(self, table=None, indicator=None) -> None:
+        """Swap the predictor's model in place (the fleet's drift-aware
+        refresh path): forwards to the predictor's ``refresh`` hook and
+        drops the last-known-good prediction cache — stale-curve fallback
+        across a model swap would mix incompatible predictions."""
+        refresh = getattr(self.predictor, "refresh", None)
+        if refresh is None:
+            raise ControlError(
+                f"predictor {getattr(self.predictor, 'name', '?')!r} does "
+                "not support model refresh"
+            )
+        refresh(table=table, indicator=indicator)
+        self._last_good = None
+        predictor_name = getattr(self.predictor, "name", "unknown")
+        _REFRESHES.labels(predictor=predictor_name).inc()
+        rec = _trace.RECORDER
+        if rec.enabled:
+            rec.emit(
+                0.0, "control.model_refresh",
+                predictor=predictor_name,
+                table_swapped=table is not None,
+                indicator_swapped=indicator is not None,
+            )
+
+    def reset_run_state(self) -> None:
+        """Forget everything tied to one run — hysteresis, cached
+        predictions, decisions, audit trail, degraded-tick count — so a
+        long-lived controller (one per recurring-job template) starts each
+        day's run clean while keeping its model."""
+        self._smoothed = None
+        self._last_good = None
+        self.degraded_ticks = 0
+        self.decisions = []
+        self.audit = _audit.ControlAudit()
 
     # ------------------------------------------------------------------
 

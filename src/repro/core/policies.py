@@ -86,6 +86,16 @@ class JockeyPolicy(AllocationPolicy):
     def change_utility(self, utility: PiecewiseLinearUtility) -> None:
         self.controller.set_utility(utility)
 
+    def refresh_model(self, table=None, indicator=None) -> None:
+        """Swap in a relearned C(p, a) table / indicator pair (the fleet's
+        drift-aware refresh)."""
+        self.controller.refresh_model(table=table, indicator=indicator)
+
+    def reset_run_state(self) -> None:
+        """Clear per-run controller state so this policy instance can drive
+        another run of the same recurring job."""
+        self.controller.reset_run_state()
+
     def last_decision(self) -> Optional[ControlDecision]:
         return self.controller.decisions[-1] if self.controller.decisions else None
 

@@ -18,6 +18,8 @@ exp_ablation_model  extension: online model correction (§5.6)
 exp_ablation_speculation  extension: straggler mitigation (§4.4)
 exp_multijob  extension: multi-SLO-job co-execution with the arbiter
 exp_chaos   extension: chaos-injection intensity vs SLO attainment
+exp_fleet   extension: recurring-job fleet, SLO attainment vs
+            profile-update policy under drift
 ==========  ==========================================================
 """
 

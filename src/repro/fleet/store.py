@@ -1,0 +1,309 @@
+"""The cross-run profile store: versioned per-template profile lineages.
+
+Jockey's premise is *recurring* jobs: the C(p, a) model is built "given a
+profile of a prior run", and production keeps re-learning that profile as
+the job recurs.  This module is the missing store of record — every
+completed run is re-profiled via :meth:`JobProfile.from_trace` and appended
+here as a new **generation** of its template's lineage, so the update
+policies (:mod:`repro.fleet.update`) always have the history they blend.
+
+Layout mirrors :mod:`repro.cache`: one JSON file per generation under
+``root/<template>/gen-NNNNNN.json`` (``REPRO_FLEET_DIR`` or
+``~/.cache/repro-jockey/fleet``), written atomically (tmp + rename).  Each
+entry carries the profile's content-addressed fingerprint
+(:func:`repro.cache.profile_fingerprint`); on load the fingerprint is
+recomputed and compared, so silent corruption is caught, warned about, and
+the entry dropped — the lineage rebuilds itself from the next run, exactly
+like a corrupt C(p, a) cache entry rebuilds on the next miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import warnings
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import persist
+from repro.cache import profile_fingerprint
+from repro.jobs.dag import JobGraph
+from repro.jobs.profiles import JobProfile
+from repro.telemetry import metrics as _metrics
+
+#: Bump when the entry layout changes: old generations then drop (warn +
+#: skip) instead of deserializing garbage.
+SCHEMA_VERSION = 1
+
+STORE_DIR_ENV = "REPRO_FLEET_DIR"
+
+#: Template names become directory names: keep them filesystem-safe.
+_TEMPLATE_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+_GEN_RE = re.compile(r"^gen-(\d{6})\.json$")
+
+_APPENDS = _metrics.REGISTRY.counter(
+    "repro_fleet_store_appends_total",
+    "Profile generations appended to the fleet store",
+    labelnames=("template",),
+)
+_STORE_CORRUPT = _metrics.REGISTRY.counter(
+    "repro_fleet_store_corrupt_total",
+    "Fleet-store generations dropped as unreadable",
+)
+
+
+class FleetError(ValueError):
+    """Raised for invalid fleet configuration or store content."""
+
+
+class FleetSpecError(FleetError):
+    """Raised for malformed fleet specs (a *usage* error at the CLI)."""
+
+
+def default_root() -> pathlib.Path:
+    """Store root: ``REPRO_FLEET_DIR`` or ``~/.cache/repro-jockey/fleet``."""
+    env = os.environ.get(STORE_DIR_ENV, "").strip()
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-jockey" / "fleet"
+
+
+@dataclass(frozen=True)
+class Generation:
+    """One stored profile generation (metadata only; the profile loads on
+    demand via :meth:`load_profile`)."""
+
+    template: str
+    number: int
+    fingerprint: str
+    path: pathlib.Path
+    metadata: Dict
+
+    def load_profile(self, graph: Optional[JobGraph] = None) -> JobProfile:
+        payload = json.loads(self.path.read_text(encoding="utf-8"))
+        return persist.profile_from_dict(payload["profile"], graph=graph)
+
+
+class ProfileStore:
+    """One directory of per-template profile lineages."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = pathlib.Path(root) if root is not None else default_root()
+
+    # ------------------------------------------------------------------
+
+    def template_dir(self, template: str) -> pathlib.Path:
+        if not _TEMPLATE_RE.match(template):
+            raise FleetError(
+                f"invalid template name {template!r} (use letters, digits, "
+                "'.', '_', '-')"
+            )
+        return self.root / template
+
+    @staticmethod
+    def _gen_name(number: int) -> str:
+        return f"gen-{number:06d}.json"
+
+    def templates(self) -> List[str]:
+        """Template names with at least one generation directory."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p.name for p in self.root.iterdir()
+            if p.is_dir() and _TEMPLATE_RE.match(p.name)
+        )
+
+    # ------------------------------------------------------------------
+
+    def _read_generation(
+        self, template: str, path: pathlib.Path
+    ) -> Optional[Generation]:
+        """Load one entry's metadata, verifying schema and fingerprint.
+        Corrupt entries are warned about, counted, deleted, and skipped —
+        the lineage self-heals from the next appended run."""
+        match = _GEN_RE.match(path.name)
+        number = int(match.group(1)) if match else -1
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != SCHEMA_VERSION:
+                raise persist.PersistError(
+                    f"schema {payload.get('schema')!r} != {SCHEMA_VERSION}"
+                )
+            profile = persist.profile_from_dict(payload["profile"])
+            fingerprint = str(payload["fingerprint"])
+            if profile_fingerprint(profile) != fingerprint:
+                raise persist.PersistError("fingerprint mismatch")
+        except (OSError, ValueError, KeyError, persist.PersistError) as exc:
+            warnings.warn(
+                f"dropping corrupt fleet-store generation {path.name} of "
+                f"template {template!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            _STORE_CORRUPT.inc()
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return Generation(
+            template=template,
+            number=number,
+            fingerprint=fingerprint,
+            path=path,
+            metadata=dict(payload.get("metadata") or {}),
+        )
+
+    def generations(self, template: str) -> List[Generation]:
+        """All readable generations of a template, oldest first."""
+        directory = self.template_dir(template)
+        if not directory.is_dir():
+            return []
+        out: List[Generation] = []
+        for path in sorted(directory.glob("gen-*.json")):
+            gen = self._read_generation(template, path)
+            if gen is not None:
+                out.append(gen)
+        return out
+
+    def latest(self, template: str) -> Optional[Generation]:
+        gens = self.generations(template)
+        return gens[-1] if gens else None
+
+    def append(
+        self,
+        template: str,
+        profile: JobProfile,
+        *,
+        metadata: Optional[Dict] = None,
+    ) -> Generation:
+        """Append a profile as the template's next generation (atomic)."""
+        directory = self.template_dir(template)
+        directory.mkdir(parents=True, exist_ok=True)
+        numbers = [
+            int(m.group(1))
+            for m in (_GEN_RE.match(p.name) for p in directory.glob("gen-*.json"))
+            if m
+        ]
+        number = (max(numbers) + 1) if numbers else 0
+        path = directory / self._gen_name(number)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "template": template,
+            "generation": number,
+            "fingerprint": profile_fingerprint(profile),
+            "profile": persist.profile_to_dict(profile),
+            "metadata": metadata or {},
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(path)
+        _APPENDS.labels(template=template).inc()
+        return Generation(
+            template=template,
+            number=number,
+            fingerprint=payload["fingerprint"],
+            path=path,
+            metadata=dict(payload["metadata"]),
+        )
+
+    # ------------------------------------------------------------------
+
+    def load_profile(
+        self,
+        template: str,
+        number: Optional[int] = None,
+        *,
+        graph: Optional[JobGraph] = None,
+    ) -> JobProfile:
+        """The profile at ``number`` (default: the latest generation)."""
+        gens = self.generations(template)
+        if not gens:
+            raise FleetError(f"no generations stored for template {template!r}")
+        if number is None:
+            return gens[-1].load_profile(graph)
+        for gen in gens:
+            if gen.number == number:
+                return gen.load_profile(graph)
+        raise FleetError(
+            f"template {template!r} has no generation {number} "
+            f"(stored: {[g.number for g in gens]})"
+        )
+
+    def lineage(
+        self,
+        template: str,
+        *,
+        limit: Optional[int] = None,
+        graph: Optional[JobGraph] = None,
+    ) -> List[JobProfile]:
+        """The last ``limit`` profiles (all when None), oldest first — the
+        input shape the update policies blend over."""
+        gens = self.generations(template)
+        if limit is not None:
+            gens = gens[-limit:]
+        return [gen.load_profile(graph) for gen in gens]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Per-template generation counts and bytes, plus totals."""
+        per_template: Dict[str, Dict[str, object]] = {}
+        total_generations = 0
+        total_bytes = 0
+        for template in self.templates():
+            directory = self.template_dir(template)
+            paths = sorted(directory.glob("gen-*.json"))
+            size = 0
+            for path in paths:
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+            per_template[template] = {
+                "generations": len(paths),
+                "bytes": size,
+            }
+            total_generations += len(paths)
+            total_bytes += size
+        return {
+            "root": str(self.root),
+            "templates": len(per_template),
+            "generations": total_generations,
+            "bytes": total_bytes,
+            "per_template": per_template,
+        }
+
+    def clear(self, template: Optional[str] = None) -> int:
+        """Delete one template's lineage (or every lineage); returns the
+        number of generation files removed."""
+        removed = 0
+        templates = [template] if template is not None else self.templates()
+        for name in templates:
+            directory = self.template_dir(name)
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("gen-*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            try:
+                directory.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+__all__ = [
+    "FleetError",
+    "FleetSpecError",
+    "Generation",
+    "ProfileStore",
+    "SCHEMA_VERSION",
+    "STORE_DIR_ENV",
+    "default_root",
+]

@@ -76,6 +76,10 @@ class RunReport:
     #: (label, count) rows for the chaos-injection section; empty when the
     #: run had no chaos engine attached.
     chaos: Tuple[Tuple[str, float], ...] = ()
+    #: Additional (section title, (label, value) rows) tables rendered
+    #: after the chaos section — e.g. the fleet driver's per-template
+    #: lineage/staleness summary.
+    extra_sections: Tuple[Tuple[str, Tuple[Tuple[str, float], ...]], ...] = ()
 
 
 #: Display order and labels for the flat dict ChaosEngine.summary() returns.
@@ -107,6 +111,31 @@ def chaos_rows_from_summary(summary: Optional[Dict]) -> Tuple[Tuple[str, float],
     )
 
 
+#: Display order and labels for a fleet TemplateSummary dict.
+_FLEET_SUMMARY_LABELS = (
+    ("days", "days simulated"),
+    ("attainment", "SLO attainment"),
+    ("rebuilds", "model rebuilds"),
+    ("drift_detections", "drift detections"),
+    ("profiling_runs", "profiling runs"),
+    ("mean_staleness_days", "mean model staleness [days]"),
+    ("final_generation", "final stored generation"),
+    ("deadline_minutes", "deadline [min]"),
+)
+
+
+def fleet_rows_from_summary(summary: Optional[Dict]) -> Tuple[Tuple[str, float], ...]:
+    """Turn a fleet :class:`~repro.fleet.driver.TemplateSummary` dict into
+    an ``extra_sections`` row tuple for the run report."""
+    if not summary:
+        return ()
+    return tuple(
+        (label, float(summary[key]))
+        for key, label in _FLEET_SUMMARY_LABELS
+        if key in summary
+    )
+
+
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
@@ -124,6 +153,7 @@ def from_audit_and_trace(
     extra_scorecards: Sequence[Scorecard] = (),
     notes: Sequence[str] = (),
     chaos: Sequence[Tuple[str, float]] = (),
+    extra_sections: Sequence[Tuple[str, Sequence[Tuple[str, float]]]] = (),
 ) -> RunReport:
     """Report for a finished :class:`~repro.jobs.trace.RunTrace` plus its
     controller audit trail (the in-process case)."""
@@ -151,6 +181,9 @@ def from_audit_and_trace(
         ),
         notes=tuple(notes),
         chaos=tuple(chaos),
+        extra_sections=tuple(
+            (section_title, tuple(rows)) for section_title, rows in extra_sections
+        ),
     )
 
 
@@ -633,6 +666,19 @@ def render_html(report: RunReport) -> str:
             "<table><thead><tr><th>Event</th><th>Count</th></tr></thead>"
             f"<tbody>{rows}</tbody></table>"
         )
+    extra_html = ""
+    for section_title, section_rows in report.extra_sections:
+        if not section_rows:
+            continue
+        rows = "".join(
+            f"<tr><td>{_html.escape(label)}</td><td>{value:g}</td></tr>"
+            for label, value in section_rows
+        )
+        extra_html += (
+            f"<h2>{_html.escape(section_title)}</h2>"
+            "<table><thead><tr><th>Metric</th><th>Value</th></tr></thead>"
+            f"<tbody>{rows}</tbody></table>"
+        )
     notes_html = ""
     if report.notes:
         items = "".join(f"<li>{_html.escape(n)}</li>" for n in report.notes)
@@ -655,6 +701,7 @@ def render_html(report: RunReport) -> str:
 {''.join(charts) if charts else '<p class="notes">no time series recorded</p>'}
 {scorecard_html}
 {chaos_html}
+{extra_html}
 {notes_html}
 <footer>deadline-risk = P(slack &times; C(p, a) &gt; time left) at each
  applied allocation; spend ratio = requested token-seconds per CPU-second
@@ -714,6 +761,16 @@ def render_text(report: RunReport) -> str:
                 [(label, f"{value:g}") for label, value in report.chaos],
             )
         )
+    for section_title, section_rows in report.extra_sections:
+        if not section_rows:
+            continue
+        lines.append("")
+        lines.append(
+            ascii_table(
+                [section_title, "value"],
+                [(label, f"{value:g}") for label, value in section_rows],
+            )
+        )
     for note in report.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines) + "\n"
@@ -737,6 +794,7 @@ __all__ = [
     "RunReport",
     "TickView",
     "chaos_rows_from_summary",
+    "fleet_rows_from_summary",
     "from_audit_and_trace",
     "from_result",
     "from_trace_events",

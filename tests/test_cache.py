@@ -219,3 +219,70 @@ class TestTrainedJobWarmPath:
             first.table._columns[first.table.allocations[0]].bins[0],
         )
         scenarios.clear_trained_cache()
+
+
+class TestPrune:
+    def _fill(self, n=3):
+        """n distinct entries with strictly increasing mtimes."""
+        import os
+        import time
+
+        store = model_cache.default_cache()
+        profile = stochastic_profile()
+        paths = []
+        for i in range(n):
+            build_via_cache(profile, seed=100 + i)
+            newest = max(store.entries(), key=lambda p: p.stat().st_mtime_ns)
+            # Spread mtimes so LRU order is unambiguous even on coarse
+            # filesystem clocks.
+            stamp = time.time() - (n - i) * 60
+            os.utime(newest, (stamp, stamp))
+            paths.append(newest)
+        return store, paths
+
+    def test_prune_evicts_oldest_first(self, cache_dir):
+        store, paths = self._fill(3)
+        keep = paths[-1].stat().st_size
+        removed, freed = store.prune(max_bytes=keep)
+        assert removed == 2
+        assert freed > 0
+        assert store.entries() == [paths[-1]]
+
+    def test_prune_is_a_noop_when_under_budget(self, cache_dir):
+        store, _paths = self._fill(2)
+        removed, freed = store.prune(max_bytes=10**9)
+        assert (removed, freed) == (0, 0)
+        assert len(store.entries()) == 2
+
+    def test_prune_zero_clears_entries(self, cache_dir):
+        store, _paths = self._fill(2)
+        removed, _freed = store.prune(max_bytes=0)
+        assert removed == 2
+        assert store.entries() == []
+
+    def test_prune_counts_in_stats(self, cache_dir):
+        store, _paths = self._fill(2)
+        store.prune(max_bytes=0)
+        assert store.stats()["pruned"] == 2
+
+    def test_negative_budget_rejected(self, cache_dir):
+        with pytest.raises(model_cache.CacheError, match="max_bytes"):
+            model_cache.default_cache().prune(max_bytes=-1)
+
+    def test_cli_prune_and_stats_total_size(self, cache_dir):
+        import io
+
+        from repro.cli import main
+
+        store, _paths = self._fill(2)
+        out = io.StringIO()
+        assert main(["cache", "stats"], out=out) == 0
+        assert "total size:" in out.getvalue()
+        out = io.StringIO()
+        assert main(["cache", "prune", "--max-bytes", "0"], out=out) == 0
+        text = out.getvalue()
+        assert "pruned 2 cached model(s)" in text
+        assert store.entries() == []
+        out = io.StringIO()
+        assert main(["cache", "stats"], out=out) == 0
+        assert "pruned: 2" in out.getvalue()

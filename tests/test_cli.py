@@ -407,3 +407,89 @@ class TestChaos:
             "help text drifted; regenerate tests/golden/run_help.txt "
             "(COLUMNS=80) if the change is intentional"
         )
+
+
+class TestFleet:
+    def test_run_writes_digest_and_store(self, tmp_path):
+        store = tmp_path / "store"
+        digest = tmp_path / "digest.json"
+        code, text = run_cli(
+            "fleet", "run", "--templates", "A", "--days", "1",
+            "--store", str(store), "--digest-out", str(digest),
+        )
+        assert code == 0
+        assert "attainment" in text
+        assert f"profile store: {store}" in text
+        payload = json.loads(digest.read_text(encoding="utf-8"))
+        assert payload["summaries"][0]["template"] == "A"
+        assert len(payload["runs"]) == 1
+        # Bootstrap + day 0 landed in the store.
+        assert len(list((store / "A").glob("gen-*.json"))) == 2
+
+    def test_report_out_has_fleet_section(self, tmp_path):
+        report = tmp_path / "fleet.html"
+        code, text = run_cli(
+            "fleet", "run", "--templates", "A", "--days", "1",
+            "--report-out", str(report),
+        )
+        assert code == 0
+        assert "wrote html report" in text
+        html = report.read_text(encoding="utf-8")
+        assert "fleet: A (ewma)" in html
+        assert "SLO attainment" in html
+
+    def test_stats_renders_lineages(self, tmp_path):
+        store = tmp_path / "store"
+        run_cli(
+            "fleet", "run", "--templates", "A", "--days", "1",
+            "--store", str(store),
+        )
+        code, text = run_cli("fleet", "stats", "--store", str(store))
+        assert code == 0
+        assert "templates: 1" in text
+        assert "latest gen-000001" in text
+
+    def test_unknown_job_exits_one_naming_offender(self):
+        code, text = run_cli("fleet", "run", "--templates", "ZZZ", "--days", "1")
+        assert code == 1
+        assert "error" in text
+        assert "ZZZ" in text
+
+    def test_malformed_spec_exits_two_with_usage(self, tmp_path):
+        spec = tmp_path / "fleet.json"
+        spec.write_text('{"bogus": 1}', encoding="utf-8")
+        code, text = run_cli("fleet", "run", "--spec", str(spec))
+        assert code == 2
+        assert "usage:" in text
+        assert "bogus" in text
+
+    def test_unreadable_spec_exits_two(self, tmp_path):
+        code, text = run_cli(
+            "fleet", "run", "--spec", str(tmp_path / "ghost.json")
+        )
+        assert code == 2
+        assert "cannot load fleet spec" in text
+
+    def test_bad_mode_exits_two(self):
+        code, _text = run_cli(
+            "fleet", "run", "--mode", "clairvoyant", "--days", "1"
+        )
+        assert code == 2
+
+    def test_empty_templates_exits_two(self):
+        code, text = run_cli("fleet", "run", "--templates", ",", "--days", "1")
+        assert code == 2
+        assert "at least one" in text
+
+    def test_fleet_help_matches_golden(self, monkeypatch, capsys):
+        import pathlib
+
+        monkeypatch.setenv("COLUMNS", "80")
+        code, _text = run_cli("fleet", "run", "--help")
+        assert code == 0
+        got = capsys.readouterr().out
+        golden = pathlib.Path(__file__).parent / "golden" / "fleet_help.txt"
+        assert got == golden.read_text(encoding="utf-8"), (
+            "help text drifted; regenerate tests/golden/fleet_help.txt "
+            "(COLUMNS=80) if the change is intentional"
+        )

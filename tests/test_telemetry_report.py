@@ -138,3 +138,55 @@ class TestRunReportShape:
         assert isinstance(report, RunReport)
         assert report.slo is not None
         assert report.notes  # from_result always records runtime scale
+
+
+class TestFleetSection:
+    def _summary(self):
+        return {
+            "template": "A", "mode": "ewma", "days": 8,
+            "attainment": 0.9375, "rebuilds": 2, "drift_detections": 1,
+            "profiling_runs": 2, "mean_staleness_days": 1.5,
+            "final_generation": 8, "deadline_minutes": 22.0,
+        }
+
+    def test_rows_from_summary_labels(self):
+        rows = report_mod.fleet_rows_from_summary(self._summary())
+        labels = [label for label, _value in rows]
+        assert "SLO attainment" in labels
+        assert "model rebuilds" in labels
+        assert ("SLO attainment", 0.9375) in rows
+
+    def test_rows_skip_missing_keys(self):
+        rows = report_mod.fleet_rows_from_summary({"days": 3})
+        assert rows == (("days simulated", 3.0),)
+
+    def test_extra_sections_render_in_both_formats(self, jockey_run):
+        tj, result = jockey_run
+        import dataclasses
+
+        report = dataclasses.replace(
+            report_mod.from_result(result, table=tj.table),
+            extra_sections=(
+                (
+                    "fleet: A (ewma)",
+                    report_mod.fleet_rows_from_summary(self._summary()),
+                ),
+            ),
+        )
+        html = render_html(report)
+        assert "fleet: A (ewma)" in html
+        assert "mean model staleness [days]" in html
+        text = render_text(report)
+        assert "fleet: A (ewma)" in text
+        assert "SLO attainment" in text
+
+    def test_empty_sections_are_skipped(self, jockey_run):
+        tj, result = jockey_run
+        import dataclasses
+
+        report = dataclasses.replace(
+            report_mod.from_result(result, table=tj.table),
+            extra_sections=(("hollow", ()),),
+        )
+        assert "hollow" not in render_html(report)
+        assert "hollow" not in render_text(report)
