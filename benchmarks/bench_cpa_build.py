@@ -11,7 +11,6 @@ machines (CI sandboxes, laptops on power-save) the digest still records
 the honest numbers, and the identity check still guards correctness.
 """
 
-import json
 import os
 import pathlib
 import time
@@ -19,6 +18,7 @@ import time
 import numpy as np
 
 from repro.core.cpa import CpaTable
+from repro.perf.digest import write_digest
 from repro.core.progress import totalwork
 from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
 from repro.jobs.profiles import JobProfile, StageProfile
@@ -98,7 +98,6 @@ def test_parallel_build_speedup_and_identity():
     RESULTS_DIR.mkdir(exist_ok=True)
     digest = {
         "benchmark": "cpa_build",
-        "cpu_count": cores,
         "units": len(BUILD_KWARGS["allocations"]) * BUILD_KWARGS["reps"],
         "serial_seconds": round(serial_s, 4),
         "parallel4_seconds": round(parallel_s, 4),
@@ -107,9 +106,7 @@ def test_parallel_build_speedup_and_identity():
         "speedup_asserted": cores >= 4,
         "min_required_speedup": MIN_PARALLEL_SPEEDUP,
     }
-    (RESULTS_DIR / "bench_cpa_build.json").write_text(
-        json.dumps(digest, indent=2) + "\n", encoding="utf-8"
-    )
+    write_digest(RESULTS_DIR / "bench_cpa_build.json", digest)
     print(f"\nC(p, a) build: serial {serial_s:.2f}s, 4 workers "
           f"{parallel_s:.2f}s ({speedup:.2f}x on {cores} cores)")
 

@@ -10,7 +10,6 @@ against the equivalent scalar loop (the control loop's allocation scan).
 """
 
 import bisect
-import json
 import pathlib
 import time
 
@@ -18,6 +17,7 @@ import numpy as np
 
 from repro.core.cpa import CpaTable
 from repro.core.progress import totalwork
+from repro.perf.digest import write_digest
 
 from bench_cpa_build import bench_profile
 
@@ -123,9 +123,7 @@ def test_query_speedup_vs_np_quantile():
         "scan_batched_seconds": round(batch_scan_s, 4),
         "scan_batch_speedup": round(batch_speedup, 2),
     }
-    (RESULTS_DIR / "bench_cpa_query.json").write_text(
-        json.dumps(digest, indent=2) + "\n", encoding="utf-8"
-    )
+    write_digest(RESULTS_DIR / "bench_cpa_query.json", digest)
     print(f"\nC(p, a) query: np.quantile {baseline_s / calls * 1e6:.1f}us, "
           f"presorted {fast_s / calls * 1e6:.1f}us per call "
           f"({speedup:.1f}x); batched scan {batch_speedup:.1f}x")

@@ -1,0 +1,217 @@
+"""Simkit scaling trajectory: events/sec vs run size, gated against a
+committed baseline.
+
+The workload is a synthetic event storm on the bare :class:`Simulator` —
+self-rescheduling callback chains with deterministic pseudo-random delays,
+plus a steady drip of scheduled-then-cancelled victim events so the heap
+compactor does real work.  No RNG, no job model: this measures the event
+loop itself (heap push/pop, handle bookkeeping, cancellation shedding),
+which is exactly the hot path the ROADMAP's million-task refactor will
+rebuild.
+
+Each run size dispatches exactly ``size`` events; the digest records the
+best-of-``reps`` events/sec per size, the perf collector's phase split
+(build vs run), compaction counts, and the process peak RSS after each
+size (``ru_maxrss`` is monotone, so per-size values are cumulative highs).
+
+Regression gate: when ``results/bench_sim_scale.json`` already exists, the
+fresh numbers are compared size-by-size and any events/sec drop beyond
+``TOLERANCE`` is recorded in the digest — and *fails the test* when
+``REPRO_PERF_ENFORCE=1`` (the CI perf-digest job sets it; local runs on
+arbitrary hardware only record).  The trajectory sanity asserts (positive
+throughput everywhere, bounded events/sec decay at the largest size)
+always fire.
+"""
+
+import json
+import os
+import pathlib
+import time
+from collections import deque
+
+from repro.perf import digest as perf_digest
+from repro.perf import instrument as perf_instrument
+from repro.simkit.events import Simulator
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+DIGEST_PATH = RESULTS_DIR / "bench_sim_scale.json"
+
+#: Allowed events/sec drop vs the committed baseline before CI fails.
+TOLERANCE = 0.15
+
+#: The largest size must keep at least this fraction of the best size's
+#: events/sec — heap ops are O(log n), so a collapse means a real leak.
+MIN_SCALE_RETENTION = 0.20
+
+#: Absolute sanity floor: below this the host is unusable for benching.
+MIN_EVENTS_PER_SEC = 10_000
+
+SMOKE_SIZES = (1_000, 10_000, 100_000)
+FULL_SIZES = SMOKE_SIZES + (1_000_000,)
+
+#: Parallel self-rescheduling chains driving the storm.
+CHAINS = 64
+#: One victim event is scheduled every this many chain steps...
+VICTIM_EVERY = 3
+#: ...and cancelled once this many victims are outstanding.
+VICTIM_BACKLOG = 48
+
+
+def _sizes() -> tuple:
+    scale = os.environ.get("REPRO_SCALE", "default")
+    return SMOKE_SIZES if scale == "smoke" else FULL_SIZES
+
+
+def _noop() -> None:
+    pass
+
+
+def _build_storm(sim: Simulator) -> None:
+    """Arm ``CHAINS`` infinite callback chains with deterministic delays.
+
+    Delays come from an integer mix of (chain, step) — no RNG object, so
+    the storm is identical on every host and run."""
+    victims = deque()
+
+    def make_chain(chain: int):
+        step = 0
+
+        def fire() -> None:
+            nonlocal step
+            step += 1
+            mixed = (chain * 2654435761 + step * 40503) & 0xFFFF
+            sim.schedule(0.25 + mixed / 65536.0, fire)
+            if step % VICTIM_EVERY == 0:
+                victims.append(sim.schedule(8.0 + mixed / 8192.0, _noop))
+                if len(victims) > VICTIM_BACKLOG:
+                    victims.popleft().cancel()
+
+        return fire
+
+    for chain in range(CHAINS):
+        sim.schedule(0.001 * (chain + 1), make_chain(chain))
+
+
+def run_storm(size: int) -> dict:
+    """Dispatch exactly ``size`` events; returns the measured row."""
+    perf = perf_instrument.PerfCollector()
+    with perf_instrument.collecting(perf):
+        with perf.phase("build"):
+            sim = Simulator()
+            _build_storm(sim)
+        with perf.phase("run"):
+            start = time.perf_counter()
+            sim.run(max_events=size)
+            wall = time.perf_counter() - start
+    snapshot = perf.snapshot()
+    assert sim.events_dispatched == size
+    return {
+        "events": size,
+        "wall_seconds": round(wall, 6),
+        "events_per_sec": round(size / wall, 1) if wall > 0 else 0.0,
+        "phases": {
+            path: round(info["seconds"], 6)
+            for path, info in snapshot["phases"].items()
+        },
+        "compactions": int(
+            snapshot["counters"].get("simkit.compactions", 0)
+        ),
+        "heap_peak": int(snapshot["maxima"].get("simkit.heap_peak", 0)),
+        "peak_rss_kb": perf_digest.peak_rss_kb(),
+    }
+
+
+def measure(sizes) -> list:
+    rows = []
+    for size in sizes:
+        reps = 3 if size <= 100_000 else 1
+        best = None
+        for _ in range(reps):
+            row = run_storm(size)
+            if best is None or row["events_per_sec"] > best["events_per_sec"]:
+                best = row
+        rows.append(best)
+    return rows
+
+
+def test_sim_scale_trajectory():
+    sizes = _sizes()
+    rows = measure(sizes)
+
+    payload = {
+        "benchmark": "sim_scale",
+        "scale": os.environ.get("REPRO_SCALE", "default"),
+        "chains": CHAINS,
+        "tolerance": TOLERANCE,
+        "sizes": rows,
+    }
+
+    # Compare against the committed baseline *before* overwriting it.
+    enforce = os.environ.get("REPRO_PERF_ENFORCE") == "1"
+    regressions = []
+    payload["baseline_compared"] = False
+    if DIGEST_PATH.exists():
+        try:
+            baseline = perf_digest.read_digest(DIGEST_PATH)
+        except (perf_digest.DigestError, json.JSONDecodeError):
+            baseline = None
+        if baseline is not None and baseline.get("sizes"):
+            regressions = perf_digest.compare_events_per_sec(
+                payload, baseline, tolerance=TOLERANCE
+            )
+            payload["baseline_compared"] = True
+    payload["regressions"] = [
+        {
+            "events": events,
+            "events_per_sec": new_eps,
+            "baseline_events_per_sec": base_eps,
+            "ratio": round(ratio, 3),
+        }
+        for events, new_eps, base_eps, ratio in regressions
+    ]
+    payload["regression_enforced"] = enforce
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    perf_digest.write_digest(DIGEST_PATH, payload)
+
+    eps = [row["events_per_sec"] for row in rows]
+    print("\nsim scale trajectory:")
+    for row in rows:
+        print(f"  {row['events']:>9d} events: "
+              f"{row['events_per_sec']:>12,.0f} events/sec "
+              f"({row['compactions']} compactions, heap peak "
+              f"{row['heap_peak']}, rss {row['peak_rss_kb']} KiB)")
+
+    assert len(rows) >= 3, "trajectory needs at least three run sizes"
+    assert all(e > 0 for e in eps), f"degenerate throughput row: {rows}"
+    assert max(eps) >= MIN_EVENTS_PER_SEC, (
+        f"host too slow/noisy to bench: best {max(eps):,.0f} events/sec"
+    )
+    assert eps[-1] >= MIN_SCALE_RETENTION * max(eps), (
+        f"events/sec collapsed at {sizes[-1]:,} events: "
+        f"{eps[-1]:,.0f} vs best {max(eps):,.0f} — superlinear slowdown "
+        "in the event loop"
+    )
+    if enforce:
+        assert not regressions, (
+            "events/sec regressed beyond "
+            f"{TOLERANCE * 100:.0f}% vs the committed baseline: "
+            + "; ".join(
+                f"{e:,} events {n:,.0f} vs {b:,.0f} ({r:.2f}x)"
+                for e, n, b, r in regressions
+            )
+        )
+
+
+def test_storm_is_deterministic():
+    """Two storms of the same size dispatch identical event sequences —
+    the bench measures the loop, not workload luck."""
+    a, b = Simulator(), Simulator()
+    _build_storm(a)
+    _build_storm(b)
+    a.run(max_events=5_000)
+    b.run(max_events=5_000)
+    assert a.now == b.now
+    assert a.events_scheduled == b.events_scheduled
+    assert a.heap_size == b.heap_size
+    assert a.compactions == b.compactions

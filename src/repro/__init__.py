@@ -16,6 +16,10 @@ Layering (bottom to top):
   straggler speculation, multi-job arbitration, §2.4/§3.2 studies).
 * :mod:`repro.telemetry` — metrics registry, structured trace recorder,
   Chrome/JSONL exporters, and the control-loop decision audit.
+* :mod:`repro.perf` — the performance observatory: hierarchical phase
+  timers/counters for the simulator's hot paths, a cProfile wrapper with
+  collapsed-stack export, and schema-stamped benchmark digests
+  (``repro perf run`` / ``repro perf report``).
 * :mod:`repro.persist` — JSON bundles for trained models.
 * :mod:`repro.chaos` — declarative fault injection: cluster and
   control-plane fault schedules replayed deterministically.
@@ -64,7 +68,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AmdahlModel",

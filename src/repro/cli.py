@@ -16,10 +16,16 @@ Commands mirror the operational workflow of the paper's system:
   days: every run is re-profiled into the cross-run profile store and a
   drift detector gates C(p, a) rebuilds (``fleet stats`` inspects the
   store's lineages).
-* ``trace summarize <file>`` — per-kind table for a recorded trace.
+* ``trace summarize <file>`` — per-kind table (counts + p50/p95
+  inter-event gaps) for a recorded trace.
 * ``report <file>`` — SLO attainment report (verdict, margin, risk
   timeline, prediction scorecard) from a recorded trace; ``--out x.html``
   renders the self-contained HTML version.
+* ``perf run`` — execute a run under the performance observatory: wall
+  time split into load/simulate/report phases, events/sec, control-tick
+  and C(p, a)-query latency percentiles; ``--profile-out`` adds a
+  collapsed-stack (flamegraph-ready) cProfile export, ``--json-out`` a
+  schema-stamped digest ``perf report`` can render later.
 
 ``run`` can additionally serve live Prometheus metrics while it executes
 (``--serve-metrics PORT``) and write the same SLO report for the run it
@@ -34,8 +40,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import replace as replace_dc
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro import __version__, persist
 from repro import cache as model_cache
@@ -271,6 +278,51 @@ def build_parser() -> argparse.ArgumentParser:
     cache_prune.add_argument(
         "--max-bytes", type=int, required=True, metavar="N",
         help="target cache size in bytes (oldest entries removed first)",
+    )
+
+    perf = sub.add_parser(
+        "perf", help="profile a run and report where wall time goes"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_run = perf_sub.add_parser(
+        "run",
+        help="run a job with perf instrumentation on and print the "
+             "per-phase wall-time breakdown",
+    )
+    perf_run.add_argument(
+        "--bundle", required=True, help="bundle from `repro train`"
+    )
+    perf_run.add_argument("--deadline-minutes", type=float, required=True)
+    perf_run.add_argument("--policy", choices=POLICY_CHOICES, default="jockey")
+    perf_run.add_argument("--seed", type=int, default=1)
+    perf_run.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write a cProfile capture of the run as collapsed stacks "
+             "(one `frames weight` line each; feed to flamegraph.pl or "
+             "speedscope)",
+    )
+    perf_run.add_argument(
+        "--profile-top", type=int, default=0, metavar="N",
+        help="also print the top N functions by cumulative time "
+             "(deterministic layout; default: off)",
+    )
+    perf_run.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the schema-stamped perf digest (phases, counters, "
+             "latency percentiles, events/sec, peak RSS) as JSON",
+    )
+    perf_run.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the SLO run report (HTML for .html/.htm, text "
+             "otherwise) with a Performance section appended",
+    )
+    perf_report = perf_sub.add_parser(
+        "report", help="render a perf or benchmark digest as text"
+    )
+    perf_report.add_argument(
+        "file",
+        help="digest JSON: `perf run --json-out` or a "
+             "results/bench_*.json trajectory digest",
     )
 
     trace = sub.add_parser("trace", help="inspect a recorded trace file")
@@ -703,6 +755,225 @@ def cmd_fleet(args, out) -> int:
     return 0
 
 
+def _perf_events_per_sec(snapshot) -> Tuple[float, float]:
+    """(events dispatched, events/sec over the simulate phase) from a
+    collector snapshot; (0, 0) when nothing was dispatched."""
+    events = snapshot.get("counters", {}).get("simkit.events_dispatched", 0.0)
+    simulate = snapshot.get("phases", {}).get("simulate", {}).get("seconds", 0.0)
+    if events <= 0 or simulate <= 0:
+        return float(events), 0.0
+    return float(events), events / simulate
+
+
+def cmd_perf_run(args, out) -> int:
+    from repro.perf import digest as perf_digest
+    from repro.perf import instrument as perf_instrument
+    from repro.perf.profile import ProfileSession
+
+    collector = perf_instrument.PerfCollector()
+    session = (
+        ProfileSession() if args.profile_out or args.profile_top > 0 else None
+    )
+    previous = perf_instrument.install(collector)
+    wall_start = time.perf_counter()
+    if session is not None:
+        session.start()
+    try:
+        with collector.phase("load"):
+            try:
+                graph, profile, table = persist.load_bundle(args.bundle)
+            except (OSError, persist.PersistError) as exc:
+                out.write(f"error: cannot load bundle: {exc}\n")
+                return 2
+            if table is None and args.policy not in (
+                "jockey-no-sim", "max-allocation"
+            ):
+                out.write("error: bundle has no C(p, a) table; use --policy "
+                          "jockey-no-sim or max-allocation\n")
+                return 2
+            deadline = args.deadline_minutes * 60.0
+            indicator = totalwork_with_q(profile)
+            policy = _build_policy(args.policy, table, indicator, profile,
+                                   deadline)
+        with collector.phase("simulate"):
+            sim = Simulator()
+            cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(args.seed))
+            manager = JobManager(
+                cluster, graph, profile,
+                initial_allocation=policy.initial_allocation(),
+                rng=RngRegistry(args.seed).stream("cli-run"),
+                deadline=deadline,
+            )
+
+            def tick():
+                if manager.finished:
+                    return
+                allocation = policy.on_tick(manager.snapshot())
+                if allocation is not None:
+                    manager.set_allocation(allocation)
+
+            if policy.adaptive:
+                sim.schedule_every(60.0, tick)
+            trace = run_to_completion(manager)
+        with collector.phase("report"):
+            if session is not None:
+                session.stop()
+                if args.profile_out:
+                    with open(args.profile_out, "w", encoding="utf-8") as fh:
+                        fh.write(session.collapsed_stacks())
+            if args.report_out:
+                import dataclasses as _dataclasses
+
+                from repro.telemetry import report as telemetry_report
+
+                controller = getattr(policy, "controller", None)
+                audit = getattr(controller, "audit", None)
+                records = audit.decisions() if audit is not None else []
+                slack = (
+                    controller.config.slack if controller is not None else 1.0
+                )
+                run_report = telemetry_report.from_audit_and_trace(
+                    trace, records, policy=args.policy, table=table,
+                    slack=slack, title=f"{graph.name} / {args.policy} (perf)",
+                )
+                snapshot_now = collector.snapshot()
+                events, eps = _perf_events_per_sec(snapshot_now)
+                perf_rows = [
+                    (f"phase {path} [s]", round(info["seconds"], 4))
+                    for path, info in sorted(
+                        snapshot_now.get("phases", {}).items()
+                    )
+                    if "/" not in path
+                ]
+                perf_rows.append(("events dispatched", events))
+                perf_rows.append(("events/sec (simulate)", round(eps, 1)))
+                ticks = snapshot_now.get("timers", {}).get("control.tick")
+                if ticks:
+                    perf_rows.append(("control ticks", float(ticks["count"])))
+                    perf_rows.append(
+                        ("control tick p95 [ms]",
+                         round(ticks["p95_seconds"] * 1e3, 3))
+                    )
+                run_report = _dataclasses.replace(
+                    run_report,
+                    extra_sections=run_report.extra_sections
+                    + (("Performance", tuple(perf_rows)),),
+                )
+                fmt = telemetry_report.write(run_report, args.report_out)
+                out.write(f"wrote {fmt} report to {args.report_out}\n")
+    finally:
+        if session is not None and not session.stopped:
+            session.stop()
+        perf_instrument.install(previous)
+    wall = time.perf_counter() - wall_start
+
+    verdict = "MET" if trace.met_deadline() else "MISSED"
+    out.write(
+        f"perf: job {graph.name!r} under {args.policy}: finished in "
+        f"{trace.duration / 60:.1f} virtual min of a "
+        f"{args.deadline_minutes:.0f}-min deadline -> {verdict}\n"
+    )
+    snapshot = collector.snapshot()
+    out.write(perf_instrument.render_snapshot(snapshot, wall_seconds=wall))
+    events, eps = _perf_events_per_sec(snapshot)
+    out.write(f"events: {events:.0f} dispatched, {eps:,.0f} events/sec "
+              f"over the simulate phase\n")
+    if args.profile_out:
+        out.write(f"wrote collapsed stacks to {args.profile_out}\n")
+    if args.profile_top > 0 and session is not None:
+        out.write(session.text_summary(args.profile_top))
+    if args.json_out:
+        payload = {
+            "kind": "perf_run",
+            "job": graph.name,
+            "policy": args.policy,
+            "seed": args.seed,
+            "deadline_minutes": args.deadline_minutes,
+            "met_deadline": trace.met_deadline(),
+            "virtual_seconds": trace.duration,
+            "wall_seconds": round(wall, 4),
+            "events_per_sec": round(eps, 1),
+            "peak_rss_kb": perf_digest.peak_rss_kb(),
+            "perf": snapshot,
+        }
+        perf_digest.write_digest(args.json_out, payload)
+        out.write(f"wrote perf digest to {args.json_out}\n")
+    return 0 if trace.met_deadline() else 1
+
+
+def _render_sim_scale_digest(doc, out) -> None:
+    host = doc.get("host", {})
+    out.write(
+        f"bench_sim_scale digest (schema v{doc.get('schema_version', '?')}, "
+        f"{host.get('cpu_count', '?')} cpus, python "
+        f"{host.get('python', '?')})\n"
+    )
+    out.write(
+        f"{'events':>10s} {'wall [s]':>10s} {'events/sec':>12s} "
+        f"{'peak RSS [KiB]':>15s}\n"
+    )
+    for row in doc.get("sizes", ()):
+        rss = row.get("peak_rss_kb")
+        out.write(
+            f"{int(row['events']):>10d} {row['wall_seconds']:>10.4f} "
+            f"{row['events_per_sec']:>12,.0f} "
+            f"{rss if rss is not None else '-':>15}\n"
+        )
+    if "baseline_compared" in doc:
+        status = "ok" if not doc.get("regressions") else "REGRESSED"
+        out.write(
+            f"baseline comparison: {status} "
+            f"(tolerance {100 * doc.get('tolerance', 0):.0f}%)\n"
+        )
+
+
+def cmd_perf_report(args, out) -> int:
+    from repro.perf import digest as perf_digest
+    from repro.perf import instrument as perf_instrument
+
+    try:
+        doc = perf_digest.read_digest(args.file)
+    except (OSError, perf_digest.DigestError) as exc:
+        out.write(f"error: cannot read perf digest: {exc}\n")
+        return 1
+    if doc.get("benchmark") == "sim_scale":
+        _render_sim_scale_digest(doc, out)
+        return 0
+    if doc.get("kind") == "perf_run":
+        host = doc.get("host", {})
+        out.write(
+            f"perf run digest: job {doc.get('job', '?')!r} under "
+            f"{doc.get('policy', '?')} (schema "
+            f"v{doc.get('schema_version', '?')}, {host.get('cpu_count', '?')} "
+            f"cpus, python {host.get('python', '?')})\n"
+        )
+        out.write(
+            f"wall {doc.get('wall_seconds', 0):.3f}s, virtual "
+            f"{doc.get('virtual_seconds', 0):.0f}s, "
+            f"{doc.get('events_per_sec', 0):,.0f} events/sec, deadline "
+            f"{'MET' if doc.get('met_deadline') else 'MISSED'}\n"
+        )
+        out.write(perf_instrument.render_snapshot(
+            doc.get("perf", {}), wall_seconds=doc.get("wall_seconds"),
+        ))
+        return 0
+    # Any other schema-stamped bench digest: flat key/value listing.
+    out.write(f"digest {args.file}:\n")
+    for key in sorted(doc):
+        if key in ("host", "sizes", "perf"):
+            continue
+        out.write(f"  {key}: {doc[key]}\n")
+    return 0
+
+
+def cmd_perf(args, out) -> int:
+    if args.perf_command == "run":
+        return cmd_perf_run(args, out)
+    if args.perf_command == "report":
+        return cmd_perf_report(args, out)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def cmd_list_experiments(out) -> int:
     for exp_id in sorted(EXPERIMENTS):
         module_name, _func = EXPERIMENTS[exp_id]
@@ -792,6 +1063,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_fleet(args, out)
         if args.command == "cache":
             return cmd_cache(args, out)
+        if args.command == "perf":
+            return cmd_perf(args, out)
         if args.command == "trace":
             return cmd_trace(args, out)
         if args.command == "report":

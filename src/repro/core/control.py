@@ -20,11 +20,13 @@ indicator noise:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, replace
 from typing import List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.core.cpa import CpaTable
 from repro.core.utility import PiecewiseLinearUtility
+from repro.perf import instrument as _perf
 from repro.telemetry import audit as _audit
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
@@ -283,6 +285,8 @@ class JockeyController:
         best_u0 = -math.inf
         utilities = []
         candidates = []
+        perf = _perf.COLLECTOR
+        query_start = time.perf_counter() if perf.enabled else 0.0
         batch = getattr(self.predictor, "remaining_seconds_batch", None)
         if batch is not None:
             predictions = batch(fractions, self._grid)
@@ -291,6 +295,8 @@ class JockeyController:
                 self.predictor.remaining_seconds(fractions, a)
                 for a in self._grid
             ]
+        if perf.enabled:
+            perf.record("control.cpa_query", time.perf_counter() - query_start)
         self._last_good = (elapsed, [float(p) for p in predictions])
         for a, predicted in zip(self._grid, predictions):
             remaining = self.config.slack * float(predicted)
@@ -416,6 +422,8 @@ class JockeyController:
         If the predictor raises :class:`PredictorUnavailable`, the tick is
         decided in degraded mode (see :meth:`_degraded_raw`) instead of
         propagating the outage into the run loop."""
+        perf = _perf.COLLECTOR
+        tick_start = time.perf_counter() if perf.enabled else 0.0
         degraded_mode: Optional[str] = None
         staleness = 0.0
         try:
@@ -496,6 +504,8 @@ class JockeyController:
                 utility=decision.utility,
                 progress=progress,
             )
+        if perf.enabled:
+            perf.record("control.tick", time.perf_counter() - tick_start)
         return decision
 
 

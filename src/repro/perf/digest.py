@@ -1,0 +1,122 @@
+"""Schema-stamped benchmark digests with host metadata.
+
+Every ``results/bench_*.json`` digest is written through :func:`stamp` /
+:func:`write_digest`, which add
+
+* ``schema_version`` — bumped whenever a digest's structure changes, so
+  trajectory tooling can refuse to compare incompatible documents;
+* ``host`` — cpu count, python version, platform — so a number measured
+  on a 2-core CI sandbox is never mistaken for one from a 32-core build
+  box.
+
+:func:`compare_events_per_sec` is the CI perf gate: given a fresh
+``bench_sim_scale`` digest and the committed baseline it returns the run
+sizes whose events/sec regressed beyond tolerance (matching sizes only —
+the smoke sweep covers a prefix of the default sweep's sizes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: Structure version for every digest written through this module.
+SCHEMA_VERSION = 2
+
+
+class DigestError(ValueError):
+    """Raised when a digest cannot be read or compared."""
+
+
+def host_metadata() -> Dict[str, object]:
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB, or None where the
+    ``resource`` module is unavailable (non-POSIX)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - windows
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - mac only
+        rss //= 1024
+    return int(rss)
+
+
+def stamp(payload: Dict[str, object]) -> Dict[str, object]:
+    """A copy of ``payload`` with the schema/host block added."""
+    stamped = dict(payload)
+    stamped["schema_version"] = SCHEMA_VERSION
+    stamped["host"] = host_metadata()
+    return stamped
+
+
+def write_digest(path, payload: Dict[str, object]) -> Dict[str, object]:
+    """Stamp and write a digest (sorted keys, trailing newline); returns
+    the stamped document."""
+    stamped = stamp(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(stamped, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return stamped
+
+
+def read_digest(path) -> Dict[str, object]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise DigestError(f"{path}: not a JSON digest: {exc}") from exc
+    if not isinstance(document, dict):
+        raise DigestError(f"{path}: JSON but not a digest object")
+    return document
+
+
+def compare_events_per_sec(
+    new: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    tolerance: float = 0.15,
+) -> List[Tuple[int, float, float, float]]:
+    """Regressions between two ``bench_sim_scale`` digests.
+
+    Returns ``(events, new_eps, baseline_eps, ratio)`` for every run size
+    present in both digests where ``new_eps < (1 - tolerance) *
+    baseline_eps``.  An empty list means the trajectory held.
+    """
+    if not 0 <= tolerance < 1:
+        raise DigestError(f"tolerance {tolerance!r} out of [0, 1)")
+    new_sizes = {int(row["events"]): row for row in new.get("sizes", ())}
+    base_sizes = {int(row["events"]): row for row in baseline.get("sizes", ())}
+    regressions = []
+    for events in sorted(new_sizes.keys() & base_sizes.keys()):
+        new_eps = float(new_sizes[events]["events_per_sec"])
+        base_eps = float(base_sizes[events]["events_per_sec"])
+        if base_eps <= 0:
+            continue
+        ratio = new_eps / base_eps
+        if ratio < 1.0 - tolerance:
+            regressions.append((events, new_eps, base_eps, ratio))
+    return regressions
+
+
+__all__ = [
+    "DigestError",
+    "SCHEMA_VERSION",
+    "compare_events_per_sec",
+    "host_metadata",
+    "peak_rss_kb",
+    "read_digest",
+    "stamp",
+    "write_digest",
+]

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.perf import instrument as _perf
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
 
@@ -164,7 +166,31 @@ class Simulator:
 
         When ``until`` is reached, the clock is advanced to exactly ``until``
         and later events remain queued.
+
+        Performance observability pays one attribute check per *call*
+        (never per event): with a live collector the whole dispatch loop
+        is timed and the counters are derived from the dispatch/heap
+        deltas, so the per-event path is identical either way.
         """
+        perf = _perf.COLLECTOR
+        if not perf.enabled:
+            self._run_loop(until, max_events)
+            return
+        heap_before = len(self._queue)
+        start_dispatched = self._dispatched
+        start = time.perf_counter()
+        try:
+            self._run_loop(until, max_events)
+        finally:
+            perf.record("simkit.run", time.perf_counter() - start)
+            perf.count(
+                "simkit.events_dispatched", self._dispatched - start_dispatched
+            )
+            perf.maximum(
+                "simkit.heap_peak", max(heap_before, len(self._queue))
+            )
+
+    def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
         fired = 0
         while True:
             if max_events is not None and fired >= max_events:
@@ -206,13 +232,19 @@ class Simulator:
                 entry[2]._queued = False
             else:
                 live.append(entry)
+        shed = len(self._queue)
         self._queue = live
+        shed -= len(live)
         heapq.heapify(self._queue)
         self._cancelled = 0
         self._compactions += 1
         rec = _trace.RECORDER
         if rec.enabled:
             rec.emit(self._now, "sim.compact", pending=len(self._queue))
+        perf = _perf.COLLECTOR
+        if perf.enabled:
+            perf.count("simkit.compactions")
+            perf.count("simkit.compacted_entries", shed)
 
     def publish_metrics(self, registry: Optional[_metrics.MetricsRegistry] = None) -> None:
         """Publish queue/clock state as telemetry gauges.  Called at

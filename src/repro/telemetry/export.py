@@ -15,6 +15,7 @@
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, IO, Iterable, List, Sequence, Union
 
 from repro.telemetry.trace import TraceEvent
@@ -188,8 +189,20 @@ def load_events(path: str) -> List[TraceEvent]:
 # ----------------------------------------------------------------------
 
 
+def _gap_percentile(sorted_gaps: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    idx = min(len(sorted_gaps) - 1, max(0, math.ceil(q * len(sorted_gaps)) - 1))
+    return sorted_gaps[idx]
+
+
 def summarize(events: Sequence[TraceEvent]) -> str:
-    """A per-kind count/first/last table, plus the overall span."""
+    """A per-kind table — count, first/last timestamp, and p50/p95
+    inter-event time gaps — plus the overall span.
+
+    The gap columns localize hot event classes straight from a trace: a
+    kind with thousands of events and a sub-second p50 gap is where the
+    simulator spends its dispatches, before any profiler runs.
+    """
     if not events:
         return "trace: empty (0 events)\n"
     by_kind: Dict[str, List[float]] = {}
@@ -201,13 +214,24 @@ def summarize(events: Sequence[TraceEvent]) -> str:
         f"trace: {len(events)} events, {len(by_kind)} kinds, "
         f"virtual span {lo:.1f}s .. {hi:.1f}s ({hi - lo:.1f}s)",
         "",
-        f"{'kind':30s} {'count':>8s} {'first':>10s} {'last':>10s}",
-        "-" * 62,
+        f"{'kind':30s} {'count':>8s} {'first':>10s} {'last':>10s} "
+        f"{'p50 gap':>10s} {'p95 gap':>10s}",
+        "-" * 84,
     ]
     for kind in sorted(by_kind):
-        stamps = by_kind[kind]
+        stamps = sorted(by_kind[kind])
+        gaps = sorted(
+            b - a for a, b in zip(stamps, stamps[1:])
+        )
+        if gaps:
+            p50 = f"{_gap_percentile(gaps, 0.50):10.2f}"
+            p95 = f"{_gap_percentile(gaps, 0.95):10.2f}"
+        else:
+            p50 = f"{'-':>10s}"
+            p95 = f"{'-':>10s}"
         lines.append(
-            f"{kind:30s} {len(stamps):8d} {min(stamps):10.1f} {max(stamps):10.1f}"
+            f"{kind:30s} {len(stamps):8d} {stamps[0]:10.1f} "
+            f"{stamps[-1]:10.1f} {p50} {p95}"
         )
     return "\n".join(lines) + "\n"
 

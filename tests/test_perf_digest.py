@@ -1,0 +1,107 @@
+"""Unit tests for schema-stamped benchmark digests (repro.perf.digest)."""
+
+import json
+
+import pytest
+
+from repro.perf.digest import (
+    SCHEMA_VERSION,
+    DigestError,
+    compare_events_per_sec,
+    host_metadata,
+    peak_rss_kb,
+    read_digest,
+    stamp,
+    write_digest,
+)
+
+
+def _scale_digest(rows):
+    return {
+        "benchmark": "sim_scale",
+        "sizes": [
+            {"events": events, "events_per_sec": eps}
+            for events, eps in rows
+        ],
+    }
+
+
+class TestStamping:
+    def test_stamp_adds_schema_and_host_without_mutating(self):
+        payload = {"benchmark": "x"}
+        stamped = stamp(payload)
+        assert stamped["schema_version"] == SCHEMA_VERSION
+        assert stamped["host"] == host_metadata()
+        assert "schema_version" not in payload
+
+    def test_host_metadata_shape(self):
+        host = host_metadata()
+        assert set(host) == {"cpu_count", "python", "platform"}
+        assert host["cpu_count"] >= 1
+
+    def test_peak_rss_is_positive_on_posix(self):
+        rss = peak_rss_kb()
+        assert rss is None or rss > 0
+
+    def test_write_digest_round_trips_sorted_with_newline(self, tmp_path):
+        path = tmp_path / "d.json"
+        stamped = write_digest(path, {"benchmark": "x", "value": 1})
+        raw = path.read_text()
+        assert raw.endswith("\n")
+        assert json.loads(raw) == stamped
+        assert raw == json.dumps(stamped, indent=2, sort_keys=True) + "\n"
+        assert read_digest(path) == stamped
+
+    def test_read_digest_rejects_non_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("nope{")
+        with pytest.raises(DigestError):
+            read_digest(bad)
+
+    def test_read_digest_rejects_non_object(self, tmp_path):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2]")
+        with pytest.raises(DigestError):
+            read_digest(bad)
+
+
+class TestCompare:
+    def test_no_regression_within_tolerance(self):
+        new = _scale_digest([(1000, 90.0), (10000, 86.0)])
+        base = _scale_digest([(1000, 100.0), (10000, 100.0)])
+        assert compare_events_per_sec(new, base, tolerance=0.15) == []
+
+    def test_regression_beyond_tolerance_reported(self):
+        new = _scale_digest([(1000, 80.0), (10000, 100.0)])
+        base = _scale_digest([(1000, 100.0), (10000, 100.0)])
+        regressions = compare_events_per_sec(new, base, tolerance=0.15)
+        assert len(regressions) == 1
+        events, new_eps, base_eps, ratio = regressions[0]
+        assert events == 1000
+        assert new_eps == 80.0
+        assert base_eps == 100.0
+        assert ratio == pytest.approx(0.8)
+
+    def test_only_intersecting_sizes_compared(self):
+        # Smoke sweep (prefix) vs full baseline: the extra baseline size
+        # must not count as a regression.
+        new = _scale_digest([(1000, 100.0)])
+        base = _scale_digest([(1000, 100.0), (1_000_000, 100.0)])
+        assert compare_events_per_sec(new, base) == []
+
+    def test_zero_baseline_rows_skipped(self):
+        new = _scale_digest([(1000, 50.0)])
+        base = _scale_digest([(1000, 0.0)])
+        assert compare_events_per_sec(new, base) == []
+
+    def test_bad_tolerance_rejected(self):
+        digest = _scale_digest([(1000, 1.0)])
+        with pytest.raises(DigestError):
+            compare_events_per_sec(digest, digest, tolerance=1.5)
+        with pytest.raises(DigestError):
+            compare_events_per_sec(digest, digest, tolerance=-0.1)
+
+    def test_faster_is_never_a_regression(self):
+        new = _scale_digest([(1000, 500.0)])
+        base = _scale_digest([(1000, 100.0)])
+        assert compare_events_per_sec(new, base) == []

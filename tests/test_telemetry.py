@@ -245,6 +245,59 @@ class TestSummarize:
         assert "control.tick" in text
         assert "4 events" in text
 
+    def test_gap_columns_present(self):
+        text = export.summarize(_sample_events())
+        assert "p50 gap" in text
+        assert "p95 gap" in text
+
+    def test_single_event_kind_has_dash_gaps(self):
+        text = export.summarize(_sample_events())
+        # Every sample kind has exactly one event, so no gaps exist yet.
+        for line in text.splitlines():
+            if line.startswith("task.end"):
+                assert line.rstrip().endswith("-")
+
+    def test_gap_percentiles_from_regular_cadence(self):
+        # 11 ticks every 60s -> 10 gaps, all exactly 60.0.
+        events = [
+            TraceEvent(60.0 * i, "control.tick", {"tick": i})
+            for i in range(11)
+        ]
+        text = export.summarize(events)
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith("control.tick")
+        )
+        cols = line.split()
+        assert cols[-2] == "60.00"  # p50 gap
+        assert cols[-1] == "60.00"  # p95 gap
+
+    def test_gap_percentiles_spread(self):
+        # Nine one-second gaps plus one 100s outlier: p50 stays at the
+        # cadence, p95 (nearest rank of 10 gaps) catches the straggler.
+        stamps = [float(i) for i in range(10)] + [109.0]
+        events = [TraceEvent(ts, "task.start", {}) for ts in stamps]
+        line = next(
+            ln for ln in export.summarize(events).splitlines()
+            if ln.startswith("task.start")
+        )
+        cols = line.split()
+        assert cols[-2] == "1.00"
+        assert cols[-1] == "100.00"
+
+    def test_gaps_use_sorted_timestamps(self):
+        # Out-of-order delivery must not produce negative gaps.
+        events = [
+            TraceEvent(ts, "shuffled", {})
+            for ts in (30.0, 0.0, 10.0, 20.0)
+        ]
+        line = next(
+            ln for ln in export.summarize(events).splitlines()
+            if ln.startswith("shuffled")
+        )
+        cols = line.split()
+        assert cols[-2] == "10.00"
+        assert cols[-1] == "10.00"
+
 
 # ----------------------------------------------------------------------
 # Control audit
