@@ -263,6 +263,15 @@ class BlackoutPredictor:
             self._inner.remaining_seconds(fractions, a) for a in allocations
         ]
 
+    def remaining_quantiles(self, fractions, allocation, qs):
+        """The interval ledger's read degrades with the rest of the model
+        service: no honest band can be published during a blackout."""
+        self._check()
+        quantiler = getattr(self._inner, "remaining_quantiles", None)
+        if quantiler is None:
+            raise PredictorUnavailable("inner predictor has no distribution")
+        return quantiler(fractions, allocation, qs)
+
 
 class ControlFaultInjector:
     """Drops/delays allocator ticks and installs predictor blackouts."""

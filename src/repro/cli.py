@@ -26,6 +26,14 @@ Commands mirror the operational workflow of the paper's system:
   and C(p, a)-query latency percentiles; ``--profile-out`` adds a
   collapsed-stack (flamegraph-ready) cProfile export, ``--json-out`` a
   schema-stamped digest ``perf report`` can render later.
+* ``predict timeline`` / ``predict score`` — run a job under the
+  prediction observatory: every control tick records a
+  distribution-valued completion-time forecast (p50/p80/p90/p95 central
+  intervals from the live C(p, a) model).  ``timeline`` prints the
+  per-tick interval table against the in-force deadline; ``score``
+  prints the reliability diagram (empirical vs nominal coverage),
+  pinball loss, and the honesty verdict, with ``--json-out`` writing the
+  calibration digest (byte-identical at any worker count).
 
 ``run`` can additionally serve live Prometheus metrics while it executes
 (``--serve-metrics PORT``) and write the same SLO report for the run it
@@ -90,6 +98,7 @@ EXPERIMENTS = {
     "sec2.4": ("exp_section24", "run"),
     "chaos": ("exp_chaos", "run"),
     "fleet": ("exp_fleet", "run"),
+    "predict": ("exp_predict", "run"),
 }
 
 POLICY_CHOICES = (
@@ -323,6 +332,49 @@ def build_parser() -> argparse.ArgumentParser:
         "file",
         help="digest JSON: `perf run --json-out` or a "
              "results/bench_*.json trajectory digest",
+    )
+
+    predict = sub.add_parser(
+        "predict",
+        help="distribution-valued completion-time predictions and their "
+             "calibration",
+    )
+    predict_sub = predict.add_subparsers(dest="predict_command", required=True)
+
+    def _predict_run_args(p):
+        p.add_argument(
+            "--bundle", required=True, help="bundle from `repro train`"
+        )
+        p.add_argument("--deadline-minutes", type=float, required=True)
+        p.add_argument("--policy", choices=POLICY_CHOICES, default="jockey")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument(
+            "--runtime-scale", type=float, default=1.0,
+            help="inflate this run's task runtimes (input growth; "
+                 "default 1.0)",
+        )
+        p.add_argument(
+            "--chaos", default=None, metavar="SPEC.json",
+            help="chaos-injection schedule (JSON; see EXPERIMENTS.md "
+                 "'Injecting chaos') — the way to watch calibration break",
+        )
+
+    predict_timeline = predict_sub.add_parser(
+        "timeline",
+        help="run a job and print the per-tick prediction-interval "
+             "timeline (bands vs the in-force deadline)",
+    )
+    _predict_run_args(predict_timeline)
+    predict_score = predict_sub.add_parser(
+        "score",
+        help="run a job and score its interval ledger: reliability "
+             "diagram, pinball loss, honesty verdict",
+    )
+    _predict_run_args(predict_score)
+    predict_score.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the calibration digest (coverage per level, sharpness, "
+             "pinball loss, rolling-window timeline, verdict) as JSON",
     )
 
     trace = sub.add_parser("trace", help="inspect a recorded trace file")
@@ -584,10 +636,14 @@ def _run_job(
         audit = getattr(controller, "audit", None)
         records = audit.decisions() if audit is not None else []
         slack = controller.config.slack if controller is not None else 1.0
+        ledger = getattr(controller, "predictions", None)
         run_report = telemetry_report.from_audit_and_trace(
             trace, records, policy=args.policy, table=table, slack=slack,
             title=f"{graph.name} / {args.policy}",
             chaos=telemetry_report.chaos_rows_from_summary(chaos_summary),
+            prediction_records=(
+                ledger.records() if ledger is not None else []
+            ),
         )
         fmt = telemetry_report.write(run_report, args.report_out)
         out.write(f"  wrote {fmt} report to {args.report_out}\n")
@@ -721,7 +777,8 @@ def cmd_fleet(args, out) -> int:
             f"{s.drift_detections} drift detection(s), "
             f"{s.profiling_runs} profiling run(s), "
             f"mean staleness {s.mean_staleness_days:.1f} day(s), "
-            f"deadline {s.deadline_minutes:.0f} min\n"
+            f"deadline {s.deadline_minutes:.0f} min, "
+            f"cov@90 {s.coverage90:.2f} ({s.prediction_verdict})\n"
         )
     if config.store_root is not None:
         out.write(f"  profile store: {config.store_root}\n")
@@ -832,9 +889,13 @@ def cmd_perf_run(args, out) -> int:
                 slack = (
                     controller.config.slack if controller is not None else 1.0
                 )
+                ledger = getattr(controller, "predictions", None)
                 run_report = telemetry_report.from_audit_and_trace(
                     trace, records, policy=args.policy, table=table,
                     slack=slack, title=f"{graph.name} / {args.policy} (perf)",
+                    prediction_records=(
+                        ledger.records() if ledger is not None else []
+                    ),
                 )
                 snapshot_now = collector.snapshot()
                 events, eps = _perf_events_per_sec(snapshot_now)
@@ -974,6 +1035,153 @@ def cmd_perf(args, out) -> int:
     raise AssertionError("unreachable")  # pragma: no cover
 
 
+def cmd_predict(args, out) -> int:
+    """Shared runner for ``predict timeline`` and ``predict score``: one
+    job execution, then two views of the same interval ledger."""
+    from repro.experiments.reporting import ascii_table, sparkline
+    from repro.telemetry import predict as telemetry_predict
+
+    try:
+        graph, profile, table = persist.load_bundle(args.bundle)
+    except (OSError, persist.PersistError) as exc:
+        out.write(f"error: cannot load bundle: {exc}\n")
+        return 2
+    if table is None and args.policy not in ("jockey-no-sim", "max-allocation"):
+        out.write("error: bundle has no C(p, a) table; use --policy "
+                  "jockey-no-sim or max-allocation\n")
+        return 2
+    chaos_spec = None
+    if args.chaos:
+        try:
+            chaos_spec = persist.load_chaos_spec(args.chaos)
+        except (OSError, persist.PersistError) as exc:
+            out.write(f"error: cannot load chaos spec: {exc}\n")
+            return 2
+    deadline = args.deadline_minutes * 60.0
+    indicator = totalwork_with_q(profile)
+    policy = _build_policy(args.policy, table, indicator, profile, deadline)
+    sim = Simulator()
+    cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(args.seed))
+    behavior = profile.with_runtime_scale(args.runtime_scale)
+    manager = JobManager(
+        cluster, graph, behavior,
+        initial_allocation=policy.initial_allocation(),
+        rng=RngRegistry(args.seed).stream("cli-run"),
+        deadline=deadline,
+        allocation_retry=chaos_spec is not None,
+    )
+    engine = None
+    if chaos_spec is not None:
+        from repro.chaos.engine import ChaosEngine
+
+        engine = ChaosEngine(
+            chaos_spec, sim=sim, cluster=cluster, manager=manager,
+            policy=policy, seed=derive_seed(args.seed, "chaos"),
+        )
+        engine.install()
+
+    def tick_body():
+        if manager.finished:
+            return
+        allocation = policy.on_tick(manager.snapshot())
+        if allocation is not None:
+            manager.set_allocation(allocation)
+
+    def tick():
+        if manager.finished:
+            return
+        if engine is not None:
+            disposition, delay = engine.tick_disposition()
+            if disposition == "drop":
+                return
+            if disposition == "delay":
+                sim.schedule(delay, tick_body)
+                return
+        tick_body()
+
+    if policy.adaptive:
+        sim.schedule_every(60.0, tick)
+    trace = run_to_completion(manager)
+    controller = getattr(policy, "controller", None)
+    ledger = getattr(controller, "predictions", None)
+    records = ledger.records() if ledger is not None else []
+    verdict = "MET" if trace.met_deadline() else "MISSED"
+    out.write(
+        f"job {graph.name!r} under {args.policy}: finished in "
+        f"{trace.duration / 60:.1f} min of a {args.deadline_minutes:.0f}-min "
+        f"deadline -> {verdict}\n"
+    )
+    if not records:
+        out.write(
+            f"no prediction intervals recorded: policy {args.policy!r} has "
+            "no distribution-valued predictor (or every tick ran "
+            "degraded)\n"
+        )
+        return 1
+    if args.predict_command == "timeline":
+        out.write(
+            ascii_table(
+                list(telemetry_predict.TIMELINE_HEADERS),
+                telemetry_predict.timeline_rows(
+                    records, duration=trace.duration, deadline=deadline
+                ),
+            ) + "\n"
+        )
+        out.write(
+            f"{len(records)} interval tick(s); hit90 marks whether the "
+            "nominal 90% band covered the realized completion\n"
+        )
+        return 0
+    # predict score
+    cal = telemetry_predict.calibration(
+        records, trace.duration, predictor=args.policy
+    )
+    out.write(
+        ascii_table(
+            list(telemetry_predict.RELIABILITY_HEADERS),
+            telemetry_predict.reliability_rows(cal),
+        ) + "\n"
+    )
+    out.write(
+        f"verdict: {cal.verdict} ({cal.ticks} interval tick(s), pinball "
+        f"loss {cal.pinball_loss / 60:.2f} min, tolerance "
+        f"±{cal.tolerance:.0%} plus quantization)\n"
+    )
+    if cal.rolling:
+        out.write(
+            "rolling cov@90 "
+            + sparkline([p.coverage for p in cal.rolling]) + "\n"
+        )
+    if args.json_out:
+        payload = {
+            "kind": "predict_score",
+            "schema_version": 1,
+            "job": graph.name,
+            "policy": args.policy,
+            "seed": args.seed,
+            "deadline_minutes": args.deadline_minutes,
+            "runtime_scale": args.runtime_scale,
+            "met_deadline": trace.met_deadline(),
+            "duration_seconds": trace.duration,
+            "calibration": cal.summary(),
+            "rolling": [
+                {
+                    "tick": p.tick,
+                    "elapsed": p.elapsed,
+                    "window": p.window,
+                    "coverage": p.coverage,
+                    "verdict": p.verdict,
+                }
+                for p in cal.rolling
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write(f"wrote prediction digest to {args.json_out}\n")
+    return 0
+
+
 def cmd_list_experiments(out) -> int:
     for exp_id in sorted(EXPERIMENTS):
         module_name, _func = EXPERIMENTS[exp_id]
@@ -1065,6 +1273,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_cache(args, out)
         if args.command == "perf":
             return cmd_perf(args, out)
+        if args.command == "predict":
+            return cmd_predict(args, out)
         if args.command == "trace":
             return cmd_trace(args, out)
         if args.command == "report":

@@ -112,6 +112,14 @@ class AdaptiveCpaPredictor(CpaPredictor):
             self.monitor.inflation
         )
 
+    def remaining_quantiles(self, fractions: Mapping[str, float], allocation, qs):
+        """Interval reads scale with the inflation estimate too: once the
+        monitor believes the run is 1.5x heavier than trained, the honest
+        completion-time band is the trained band stretched by 1.5x."""
+        base = super().remaining_quantiles(fractions, allocation, qs)
+        inflation = self.monitor.inflation
+        return {q: v * inflation for q, v in base.items()}
+
 
 def make_monitor(profile: JobProfile, **kwargs) -> ModelErrorMonitor:
     """Monitor sized from a learned profile's total work."""

@@ -29,6 +29,7 @@ from repro.core.utility import PiecewiseLinearUtility
 from repro.perf import instrument as _perf
 from repro.telemetry import audit as _audit
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import predict as _predict
 from repro.telemetry import trace as _trace
 
 _TICKS = _metrics.REGISTRY.counter(
@@ -108,6 +109,19 @@ class CpaPredictor:
             progress, allocations, q=self.percentile
         )
 
+    def remaining_quantiles(
+        self,
+        fractions: Mapping[str, float],
+        allocation: float,
+        qs: Sequence[float],
+    ) -> Mapping[float, float]:
+        """Several quantiles of the remaining-time distribution at one
+        allocation — the prediction-interval read (always *raw*: the
+        control loop's ``percentile`` and slack are not applied, the
+        interval ledger wants the model's honest distribution)."""
+        progress = self.indicator.progress(fractions)
+        return self.table.remaining_quantiles(progress, allocation, qs)
+
     def refresh(self, table: Optional[CpaTable] = None, indicator=None) -> None:
         """Swap in a relearned model in place (drift-aware refresh): the
         table and indicator must be built from the *same* profile, so pass
@@ -139,6 +153,10 @@ class ControlConfig:
     #: False disables the last-known-good fallback entirely (ablation):
     #: predictor outages freeze the allocation at its current value.
     degraded_fallback: bool = True
+    #: Relative model-error scale folded into the published prediction
+    #: intervals (see :data:`repro.telemetry.predict.MODEL_ERROR_REL`);
+    #: 0 publishes the raw C(p, a) band.
+    prediction_error_rel: float = _predict.MODEL_ERROR_REL
 
     def __post_init__(self):
         if self.period_seconds <= 0:
@@ -157,6 +175,8 @@ class ControlConfig:
             raise ControlError("fallback staleness bound must be >= 0")
         if self.degraded_dead_zone_factor < 1:
             raise ControlError("degraded dead-zone factor must be >= 1")
+        if self.prediction_error_rel < 0:
+            raise ControlError("prediction error scale must be >= 0")
 
     def allocation_grid(self) -> List[int]:
         grid = list(range(self.min_tokens, self.max_tokens + 1, self.allocation_step))
@@ -216,6 +236,11 @@ class JockeyController:
         #: raw/dead-zone/hysteresis chain); ``audit.decisions()`` is the
         #: accessor experiments use.
         self.audit = _audit.ControlAudit()
+        #: Per-tick completion-time interval forecasts (the prediction
+        #: observatory's ledger); empty for predictors without a
+        #: distribution (Amdahl) and skipped on degraded ticks — a model
+        #: outage means there is no honest interval to publish.
+        self.predictions = _predict.PredictionLedger()
 
     # ------------------------------------------------------------------
 
@@ -270,6 +295,7 @@ class JockeyController:
         self.degraded_ticks = 0
         self.decisions = []
         self.audit = _audit.ControlAudit()
+        self.predictions = _predict.PredictionLedger()
 
     # ------------------------------------------------------------------
 
@@ -330,6 +356,46 @@ class JockeyController:
         except Exception:
             return None
 
+    def _record_prediction(
+        self,
+        fractions: Mapping[str, float],
+        elapsed: float,
+        allocation: int,
+        progress: Optional[float],
+        tick: int,
+    ) -> None:
+        """Append one tick's completion-time interval forecast to the
+        prediction ledger (when the predictor has a distribution), update
+        the live gauges, and emit a ``control.predict`` trace event."""
+        quantiler = getattr(self.predictor, "remaining_quantiles", None)
+        if quantiler is None:
+            return
+        try:
+            quantiles = dict(quantiler(
+                fractions, allocation, _predict.quantiles_for(_predict.NOMINAL_LEVELS)
+            ))
+        except PredictorUnavailable:
+            return
+        record = _predict.record_from_quantiles(
+            tick=tick,
+            elapsed=elapsed,
+            progress=progress,
+            allocation=allocation,
+            quantiles=quantiles,
+            error_rel=self.config.prediction_error_rel,
+        )
+        self.predictions.record(record)
+        predictor_name = getattr(self.predictor, "name", "unknown")
+        _predict.publish(record, predictor=predictor_name)
+        rec = _trace.RECORDER
+        if rec.enabled:
+            fields = {"predictor": predictor_name, "median": record.median}
+            for band in record.bands:
+                label = _predict.level_label(band.level)
+                fields[f"lo{label}"] = band.lo
+                fields[f"hi{label}"] = band.hi
+            rec.emit(elapsed, "control.predict", **fields)
+
     def initial_allocation(self, fractions: Optional[Mapping[str, float]] = None) -> int:
         """Allocation before the job starts (progress 0, elapsed 0).  Also
         resets hysteresis state."""
@@ -337,11 +403,13 @@ class JockeyController:
             fractions = self._zero_fractions()
         raw, remaining, u, candidates, dead_zone = self._raw_allocation(fractions, 0.0)
         self._smoothed = float(raw)
+        progress = self._observed_progress(fractions)
+        tick = len(self.audit)
         self.audit.record(_audit.TickRecord(
-            tick=len(self.audit),
+            tick=tick,
             phase=_audit.PHASE_INITIAL,
             elapsed=0.0,
-            progress=self._observed_progress(fractions),
+            progress=progress,
             candidates=candidates,
             raw=raw,
             dead_zone_triggered=dead_zone,
@@ -351,6 +419,7 @@ class JockeyController:
             predicted_remaining=remaining,
             utility=u,
         ))
+        self._record_prediction(fractions, 0.0, raw, progress, tick)
         return raw
 
     def _zero_fractions(self) -> Mapping[str, float]:
@@ -461,8 +530,9 @@ class JockeyController:
         )
         self.decisions.append(decision)
         progress = self._observed_progress(fractions)
+        tick = len(self.audit)
         self.audit.record(_audit.TickRecord(
-            tick=len(self.audit),
+            tick=tick,
             phase=_audit.PHASE_TICK,
             elapsed=elapsed,
             progress=progress,
@@ -475,6 +545,8 @@ class JockeyController:
             predicted_remaining=predicted,
             utility=decision.utility,
         ))
+        if degraded_mode is None:
+            self._record_prediction(fractions, elapsed, allocation, progress, tick)
         predictor_name = getattr(self.predictor, "name", "unknown")
         _TICKS.labels(predictor=predictor_name).inc()
         if dead_zone:

@@ -122,6 +122,10 @@ class ExperimentResult:
     #: Chaos-engine counters (None for calm runs): events fired per
     #: injector, degraded ticks, allocation deficits/retries.
     chaos_summary: Optional[dict] = None
+    #: The controller's per-tick completion-time interval forecasts
+    #: (:class:`repro.telemetry.predict.PredictionRecord`; empty for
+    #: non-controller policies and distribution-free predictors).
+    prediction_records: List = field(default_factory=list)
 
     def slo_report(self, *, table=None):
         """SLO attainment for this run, computed from its own artifacts
@@ -139,6 +143,17 @@ class ExperimentResult:
             table=table,
             slack=slack,
             schedule=self.deadline_changes,
+        )
+
+    def prediction_report(self, **kwargs):
+        """Calibration verdict on this run's interval ledger (see
+        :func:`repro.telemetry.predict.calibration`); keyword arguments
+        forward to it (tolerance, window, ...)."""
+        from repro.telemetry.predict import calibration
+
+        kwargs.setdefault("predictor", self.metrics.policy)
+        return calibration(
+            self.prediction_records, self.metrics.duration_seconds, **kwargs
         )
 
 
@@ -264,6 +279,11 @@ def run_experiment(
         trace_events=trace_events,
         audit_records=audit.decisions() if audit is not None else [],
         chaos_summary=engine.summary() if engine is not None else None,
+        prediction_records=(
+            ledger.records()
+            if (ledger := getattr(controller, "predictions", None)) is not None
+            else []
+        ),
     )
 
 

@@ -66,6 +66,7 @@ from repro.jobs.profiles import JobProfile
 from repro.jobs.workloads import TABLE2_SPECS, generate_table2_jobs, mapreduce_job
 from repro.simkit.random import derive_seed
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import predict as _predict
 
 #: How a template's model evolves across days.  The middle three reuse the
 #: update-policy names: drift-gated refresh resolved by that policy.
@@ -172,6 +173,11 @@ class FleetRunRecord:
     drift_mean_shift: float
     drift_significant: bool
     rebuilt: bool
+    #: Interval ticks this day's run recorded and the fraction the nominal
+    #: 90% band covered — a stale model shows up here (overconfident bands)
+    #: before it shows up as a missed deadline.
+    prediction_ticks: int = 0
+    coverage90: float = 0.0
 
     def to_dict(self) -> Dict:
         return {
@@ -187,6 +193,8 @@ class FleetRunRecord:
             "drift_mean_shift": self.drift_mean_shift,
             "drift_significant": self.drift_significant,
             "rebuilt": self.rebuilt,
+            "prediction_ticks": self.prediction_ticks,
+            "coverage90": self.coverage90,
         }
 
 
@@ -204,6 +212,11 @@ class TemplateSummary:
     mean_staleness_days: float
     final_generation: int
     deadline_minutes: float
+    #: Pooled interval calibration across the template's days: each day's
+    #: ledger judged against its own realized completion.
+    prediction_ticks: int = 0
+    coverage90: float = 0.0
+    prediction_verdict: str = _predict.VERDICT_NO_DATA
 
     def to_dict(self) -> Dict:
         return {
@@ -217,6 +230,9 @@ class TemplateSummary:
             "mean_staleness_days": self.mean_staleness_days,
             "final_generation": self.final_generation,
             "deadline_minutes": self.deadline_minutes,
+            "prediction_ticks": self.prediction_ticks,
+            "coverage90": self.coverage90,
+            "prediction_verdict": self.prediction_verdict,
         }
 
 
@@ -331,6 +347,7 @@ def _simulate_template(
     drift_detections = 0
     model_refresh_day = 0
     last_result: Optional[ExperimentResult] = None
+    ledgers: List[Tuple[List, float]] = []
 
     for day in range(config.days):
         drift_active = (
@@ -448,6 +465,13 @@ def _simulate_template(
                     rebuilt_today = True
                     model_refresh_day = day + 1
 
+        day_records = result.prediction_records
+        day_duration = float(result.metrics.duration_seconds)
+        ledgers.append((day_records, day_duration))
+        ((_level, day_covered, day_ticks),) = _predict.interval_hits(
+            day_records, day_duration, levels=(0.9,)
+        )
+
         slo = result.slo_report()
         rows.append(FleetRunRecord(
             template=template.name,
@@ -462,10 +486,17 @@ def _simulate_template(
             drift_mean_shift=round(drift_shift, 6),
             drift_significant=significant,
             rebuilt=rebuilt_today,
+            prediction_ticks=day_ticks,
+            coverage90=round(
+                day_covered / day_ticks if day_ticks else 0.0, 6
+            ),
         ))
         if config.keep_last_result:
             last_result = result
 
+    # Pooled honesty across the template's days — per-template coverage
+    # gauges land on /metrics via the calibration call itself.
+    cal = _predict.pooled_calibration(ledgers, predictor=template.name)
     summary = TemplateSummary(
         template=template.name,
         mode=mode,
@@ -479,6 +510,9 @@ def _simulate_template(
         ),
         final_generation=generation,
         deadline_minutes=round(deadline / 60.0, 3),
+        prediction_ticks=cal.ticks,
+        coverage90=round(cal.coverage(0.9), 6),
+        prediction_verdict=cal.verdict,
     )
     return rows, summary, last_result
 

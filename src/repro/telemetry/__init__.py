@@ -17,6 +17,9 @@ Analysis & exposition (built on the collectors):
   deadline-risk timeline from the audit trail.
 * :mod:`repro.telemetry.scorecard` — predicted-vs-realized remaining-time
   error distributions for any predictor or progress indicator.
+* :mod:`repro.telemetry.predict` — distribution-valued completion-time
+  predictions (the per-tick interval ledger) and their calibration:
+  reliability diagrams, pinball loss, honesty verdicts.
 * :mod:`repro.telemetry.exposition` — Prometheus text-format rendering and
   a live ``/metrics`` + ``/healthz`` endpoint.
 * :mod:`repro.telemetry.report` — self-contained HTML (or text) run
@@ -51,6 +54,14 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     default_registry,
 )
+from repro.telemetry.predict import (
+    CalibrationReport,
+    IntervalBand,
+    PredictionLedger,
+    PredictionRecord,
+    calibration,
+    pooled_calibration,
+)
 from repro.telemetry.report import RunReport, render_html, render_text
 from repro.telemetry.scorecard import Scorecard
 from repro.telemetry.slo import RiskPoint, SloAttainment, analyze_run, risk_timeline
@@ -66,12 +77,16 @@ from repro.telemetry.trace import (
 
 __all__ = [
     "CONTENT_TYPE",
+    "CalibrationReport",
     "CandidateEval",
     "ControlAudit",
+    "IntervalBand",
     "MetricError",
     "MetricsRegistry",
     "MetricsServer",
     "NullRecorder",
+    "PredictionLedger",
+    "PredictionRecord",
     "REGISTRY",
     "RiskPoint",
     "RunReport",
@@ -81,6 +96,7 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "analyze_run",
+    "calibration",
     "capture",
     "default_registry",
     "disable",
@@ -88,6 +104,7 @@ __all__ = [
     "install",
     "load_events",
     "parse_prometheus",
+    "pooled_calibration",
     "read_jsonl",
     "reconstruct_allocations",
     "render_html",

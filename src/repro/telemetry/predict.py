@@ -1,0 +1,743 @@
+"""Distribution-valued completion-time predictions and their calibration.
+
+Jockey's control loop reads a *single* percentile of C(p, a) each tick;
+PCS ("Towards providing reliable job completion time predictions using
+PCS", PAPERS.md) argues that what a user needs is the whole distribution —
+an interval with a stated probability — *plus* continuous evidence that
+the stated probabilities are honest.  This module is that product surface:
+
+* **Interval ledger** — at every non-degraded control tick the controller
+  derives central prediction intervals (p50/p80/p90/p95 by default) for
+  the *completion time* from the live C(p, a) distribution at the applied
+  allocation, and appends a :class:`PredictionRecord` to a
+  :class:`PredictionLedger`.  Once the run finishes, each record pairs a
+  nominal band with the eventually-realized completion.
+* **Calibration engine** — :func:`calibration` turns a finished ledger
+  into a :class:`CalibrationReport`: empirical-vs-nominal coverage per
+  level (reliability-diagram data), mean interval width (sharpness),
+  a pinball-loss score over all quantiles (the CRPS-style proper scoring
+  rule, discretized), a rolling-window coverage timeline, and an
+  explicit honesty verdict (``honest`` / ``overconfident`` /
+  ``conservative``) per level and overall.
+* **Exposition** — module-level Prometheus gauges
+  (``repro_prediction_interval_lo_seconds`` /
+  ``..._hi_seconds`` / ``repro_prediction_median_seconds``, labelled by
+  predictor and level, plus ``repro_prediction_coverage`` once a run is
+  scored) publish the live band on the existing ``/metrics`` server, and
+  every recorded tick emits a ``control.predict`` trace event.
+
+Intervals are *pre-slack*: the control loop's slack multiplier is
+deliberate pessimism, not part of the model's honest belief, so the band
+comes from the raw C(p, a) quantiles.  Each interval is conditioned on
+the allocation applied at that tick — the controller may later move
+tokens, which is precisely the kind of dishonesty the coverage ledger is
+built to expose.
+
+Deadline-at-tick logic is shared with the SLO analytics: this module
+reuses :func:`repro.telemetry.slo.deadline_at` rather than reimplementing
+schedule interpolation.
+
+No module-level imports from :mod:`repro.core` (the control loop imports
+:mod:`repro.telemetry`; keeping this layer import-free of it avoids a
+cycle).  The C(p, a) ``table`` parameter of :func:`intervals_from_audit`
+is duck-typed: anything with ``remaining(progress, allocation, q=...)``
+works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry import metrics as _metrics
+from repro.telemetry.slo import deadline_at
+
+#: Central-interval probabilities the ledger records by default.  The
+#: acceptance level the repo's experiments gate on is 0.9.
+NOMINAL_LEVELS = (0.5, 0.8, 0.9, 0.95)
+
+#: Relative model-error scale folded into every band (as a fraction of
+#: the median predicted completion time).  The C(p, a) table's own
+#: spread only captures the offline simulator's stochasticity; the
+#: simulator itself diverges from the live cluster (spare-token boosts,
+#: contention the profile never saw — the §5.6 divergence).  The
+#: envelope's quantile function is *linear* (uniform-like: the divergence
+#: behaves as a bounded run-level bias, not a heavy-tailed draw) with
+#: this half-width, calibrated offline against calm-day paired-seed runs
+#: of the substrate so every nominal level lands within tolerance of its
+#: empirical coverage.  The calibration engine below exists precisely to
+#: verify that constant continuously and flag when drift or chaos
+#: invalidates it.
+MODEL_ERROR_REL = 0.15
+
+#: |empirical - nominal| coverage beyond this flags miscalibration.
+HONESTY_TOLERANCE = 0.05
+
+#: Ticks per rolling-coverage window.
+ROLLING_WINDOW = 12
+
+VERDICT_HONEST = "honest"
+VERDICT_OVERCONFIDENT = "overconfident"   # empirical < nominal - tol
+VERDICT_CONSERVATIVE = "conservative"     # empirical > nominal + tol
+VERDICT_NO_DATA = "no-data"
+
+_INTERVAL_LO = _metrics.REGISTRY.gauge(
+    "repro_prediction_interval_lo_seconds",
+    "Live lower edge of the completion-time prediction interval",
+    labelnames=("predictor", "level"),
+)
+_INTERVAL_HI = _metrics.REGISTRY.gauge(
+    "repro_prediction_interval_hi_seconds",
+    "Live upper edge of the completion-time prediction interval",
+    labelnames=("predictor", "level"),
+)
+_MEDIAN = _metrics.REGISTRY.gauge(
+    "repro_prediction_median_seconds",
+    "Live median predicted completion time",
+    labelnames=("predictor",),
+)
+_COVERAGE = _metrics.REGISTRY.gauge(
+    "repro_prediction_coverage",
+    "Empirical interval coverage of the most recently scored run",
+    labelnames=("predictor", "level"),
+)
+_TICKS = _metrics.REGISTRY.counter(
+    "repro_prediction_ticks_total",
+    "Control ticks that recorded a prediction interval",
+    labelnames=("predictor",),
+)
+
+
+class PredictError(ValueError):
+    """Raised for invalid prediction-interval requests."""
+
+
+def level_label(level: float) -> str:
+    """Metric-label form of a nominal level (0.9 -> ``"90"``)."""
+    return f"{level * 100:g}"
+
+
+def quantiles_for(levels: Sequence[float]) -> Tuple[float, ...]:
+    """The sorted set of distribution quantiles needed for central
+    intervals at ``levels`` plus the median."""
+    qs = {0.5}
+    for level in levels:
+        if not 0.0 < level < 1.0:
+            raise PredictError(f"interval level {level!r} out of (0, 1)")
+        qs.add((1.0 - level) / 2.0)
+        qs.add((1.0 + level) / 2.0)
+    return tuple(sorted(qs))
+
+
+@dataclass(frozen=True)
+class IntervalBand:
+    """One central interval for the *completion time* (seconds since job
+    start): ``P(lo <= completion <= hi) = level``, per the model."""
+
+    level: float
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    def covers(self, completion: float) -> bool:
+        return self.lo <= completion <= self.hi
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One tick's full interval forecast, conditioned on the allocation
+    applied at that tick."""
+
+    tick: int
+    elapsed: float
+    progress: Optional[float]
+    allocation: int
+    median: float                       # p50 completion time
+    bands: Tuple[IntervalBand, ...]     # ascending nominal level
+
+    def band(self, level: float) -> Optional[IntervalBand]:
+        for b in self.bands:
+            if abs(b.level - level) < 1e-9:
+                return b
+        return None
+
+    def deadline_in_force(
+        self, initial_deadline: float,
+        schedule: Sequence[Tuple[float, float]] = (),
+    ) -> float:
+        """The deadline this tick's forecast was racing (shared
+        schedule-interpolation helper from the SLO analytics)."""
+        return deadline_at(self.elapsed, initial_deadline, schedule)
+
+
+def _envelope_quantile(level: float) -> float:
+    """Central-interval half-width of the model-error envelope at
+    ``level``, in units of the envelope half-width: linear in the level
+    (a uniform error distribution's quantile function)."""
+    return level
+
+
+def record_from_quantiles(
+    *,
+    tick: int,
+    elapsed: float,
+    progress: Optional[float],
+    allocation: int,
+    quantiles: Dict[float, float],
+    levels: Sequence[float] = NOMINAL_LEVELS,
+    error_rel: float = MODEL_ERROR_REL,
+) -> PredictionRecord:
+    """Build a record from raw remaining-time quantiles ``{q: seconds}``.
+
+    Remaining-time quantiles become completion-time quantiles by adding
+    ``elapsed``.  Each band then widens, in quadrature, by the
+    model-error envelope of half-width ``error_rel x median completion``
+    — the table's own spread (first term) covers simulation
+    stochasticity, the envelope (second term) covers
+    simulator-vs-cluster divergence.  Pass ``error_rel=0`` for the raw
+    model band.
+    """
+    if 0.5 not in quantiles:
+        raise PredictError("quantiles must include the median (0.5)")
+    if error_rel < 0:
+        raise PredictError(f"error_rel must be >= 0, got {error_rel!r}")
+    median = elapsed + quantiles[0.5]
+    sigma = error_rel * median
+    bands: List[IntervalBand] = []
+    for level in sorted(levels):
+        lo_q = (1.0 - level) / 2.0
+        hi_q = (1.0 + level) / 2.0
+        if lo_q not in quantiles or hi_q not in quantiles:
+            raise PredictError(f"missing quantiles for level {level!r}")
+        # Monotonicity is enforced against the median (interpolated
+        # C(p, a) columns can cross by floating-point hairs).
+        lo = elapsed + min(quantiles[lo_q], quantiles[0.5])
+        hi = elapsed + max(quantiles[hi_q], quantiles[0.5])
+        extra = _envelope_quantile(level) * sigma
+        lo = median - ((median - lo) ** 2 + extra ** 2) ** 0.5
+        hi = median + ((hi - median) ** 2 + extra ** 2) ** 0.5
+        bands.append(IntervalBand(level=level, lo=max(lo, elapsed), hi=hi))
+    return PredictionRecord(
+        tick=tick,
+        elapsed=elapsed,
+        progress=progress,
+        allocation=allocation,
+        median=median,
+        bands=tuple(bands),
+    )
+
+
+class PredictionLedger:
+    """Per-controller accumulator of :class:`PredictionRecord`\\ s
+    (mirrors :class:`repro.telemetry.audit.ControlAudit`)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise PredictError(f"capacity must be >= 1, got {capacity!r}")
+        self._capacity = capacity
+        self._records: List[PredictionRecord] = []
+
+    def record(self, record: PredictionRecord) -> None:
+        self._records.append(record)
+        if self._capacity is not None and len(self._records) > self._capacity:
+            del self._records[0]
+
+    def records(self) -> List[PredictionRecord]:
+        """All recorded forecasts, oldest first."""
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def publish(record: PredictionRecord, *, predictor: str = "unknown") -> None:
+    """Update the live Prometheus gauges with one tick's band."""
+    _MEDIAN.labels(predictor=predictor).set(record.median)
+    for band in record.bands:
+        label = level_label(band.level)
+        _INTERVAL_LO.labels(predictor=predictor, level=label).set(band.lo)
+        _INTERVAL_HI.labels(predictor=predictor, level=label).set(band.hi)
+    _TICKS.labels(predictor=predictor).inc()
+
+
+def intervals_from_audit(
+    records: Sequence,
+    table,
+    *,
+    levels: Sequence[float] = NOMINAL_LEVELS,
+) -> List[PredictionRecord]:
+    """Recompute the interval ledger offline from a controller audit trail
+    and the same C(p, a) table the run used.
+
+    Each :class:`~repro.telemetry.audit.TickRecord` carries the observed
+    progress and applied allocation, so the recomputed bands are identical
+    to what the live hook recorded (asserted in
+    ``tests/test_telemetry_predict.py``).  Records without progress (the
+    Amdahl predictor has no indicator — and no distribution) are skipped.
+    """
+    qs = quantiles_for(levels)
+    out: List[PredictionRecord] = []
+    for record in records:
+        if record.progress is None:
+            continue
+        quantiles = {
+            q: float(table.remaining(record.progress, record.allocation, q=q))
+            for q in qs
+        }
+        out.append(record_from_quantiles(
+            tick=record.tick,
+            elapsed=record.elapsed,
+            progress=record.progress,
+            allocation=record.allocation,
+            quantiles=quantiles,
+            levels=levels,
+        ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Calibration engine
+# ----------------------------------------------------------------------
+
+
+def _verdict(empirical: float, nominal: float, tolerance: float) -> str:
+    if empirical < nominal - tolerance:
+        return VERDICT_OVERCONFIDENT
+    if empirical > nominal + tolerance:
+        return VERDICT_CONSERVATIVE
+    return VERDICT_HONEST
+
+
+@dataclass(frozen=True)
+class LevelCalibration:
+    """Reliability-diagram point: one nominal level's empirical behaviour."""
+
+    level: float
+    ticks: int
+    covered: int
+    mean_width_seconds: float
+    sharpness: float        # mean width as a fraction of the duration
+    verdict: str
+
+    @property
+    def empirical(self) -> float:
+        return self.covered / self.ticks if self.ticks else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "level": self.level,
+            "ticks": self.ticks,
+            "covered": self.covered,
+            "empirical_coverage": self.empirical,
+            "mean_width_seconds": self.mean_width_seconds,
+            "sharpness": self.sharpness,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class RollingPoint:
+    """Trailing-window coverage at one tick (the honesty timeline)."""
+
+    tick: int
+    elapsed: float
+    level: float
+    window: int
+    coverage: float
+    verdict: str
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """The honesty verdict on one run's (or one pool's) interval ledger."""
+
+    predictor: str
+    duration: float          # realized completion (mean over pooled runs)
+    ticks: int
+    levels: Tuple[LevelCalibration, ...]
+    pinball_loss: float      # mean pinball loss over all recorded quantiles
+    rolling: Tuple[RollingPoint, ...]
+    tolerance: float
+
+    @property
+    def verdict(self) -> str:
+        """Overall honesty: honest only if every level is; overconfidence
+        (intervals narrower than claimed) dominates conservatism."""
+        verdicts = {lv.verdict for lv in self.levels}
+        if not verdicts:
+            return VERDICT_NO_DATA
+        if VERDICT_OVERCONFIDENT in verdicts:
+            return VERDICT_OVERCONFIDENT
+        if VERDICT_CONSERVATIVE in verdicts:
+            return VERDICT_CONSERVATIVE
+        return VERDICT_HONEST
+
+    def level(self, level: float) -> Optional[LevelCalibration]:
+        for lv in self.levels:
+            if abs(lv.level - level) < 1e-9:
+                return lv
+        return None
+
+    def coverage(self, level: float) -> float:
+        lv = self.level(level)
+        return lv.empirical if lv is not None else 0.0
+
+    def summary(self) -> dict:
+        """JSON-serializable digest (what ``repro predict score`` emits)."""
+        return {
+            "predictor": self.predictor,
+            "duration_seconds": self.duration,
+            "ticks": self.ticks,
+            "levels": [lv.summary() for lv in self.levels],
+            "pinball_loss_seconds": self.pinball_loss,
+            "tolerance": self.tolerance,
+            "verdict": self.verdict,
+        }
+
+
+def pinball_loss(
+    records: Sequence[PredictionRecord], duration: float
+) -> float:
+    """Mean pinball (quantile) loss of the completion-time forecasts over
+    every recorded quantile — the discretized CRPS-style proper score.
+    Lower is better; honest *and* sharp forecasts minimize it."""
+    total = 0.0
+    count = 0
+    for record in records:
+        pairs = [(0.5, record.median)]
+        for band in record.bands:
+            pairs.append(((1.0 - band.level) / 2.0, band.lo))
+            pairs.append(((1.0 + band.level) / 2.0, band.hi))
+        for tau, predicted in pairs:
+            diff = duration - predicted
+            total += tau * diff if diff >= 0 else (tau - 1.0) * diff
+            count += 1
+    return total / count if count else 0.0
+
+
+def rolling_coverage(
+    records: Sequence[PredictionRecord],
+    duration: float,
+    *,
+    level: float = 0.9,
+    window: int = ROLLING_WINDOW,
+    tolerance: float = HONESTY_TOLERANCE,
+) -> List[RollingPoint]:
+    """Trailing-window empirical coverage at one level, per tick: the
+    honesty timeline that localizes *when* in the run intervals went bad."""
+    if window < 1:
+        raise PredictError(f"window must be >= 1, got {window!r}")
+    hits: List[bool] = []
+    points: List[RollingPoint] = []
+    for record in records:
+        band = record.band(level)
+        if band is None:
+            continue
+        hits.append(band.covers(duration))
+        tail = hits[-window:]
+        coverage = sum(tail) / len(tail)
+        # Small windows quantize coverage coarsely; widen the tolerance to
+        # at least one observation's worth so verdicts aren't noise.
+        tol = max(tolerance, 1.0 / len(tail))
+        points.append(RollingPoint(
+            tick=record.tick,
+            elapsed=record.elapsed,
+            level=level,
+            window=len(tail),
+            coverage=coverage,
+            verdict=_verdict(coverage, level, tol),
+        ))
+    return points
+
+
+def calibration(
+    records: Sequence[PredictionRecord],
+    duration: float,
+    *,
+    predictor: str = "controller",
+    tolerance: float = HONESTY_TOLERANCE,
+    window: int = ROLLING_WINDOW,
+    rolling_level: float = 0.9,
+) -> CalibrationReport:
+    """Score a finished ledger against the realized completion time.
+
+    ``records`` may pool several runs (concatenate their ledgers and pass
+    the mean duration) — coverage then aggregates across runs, which is
+    how the experiment sweeps gate on it.  Per-tick coverage uses each
+    record's own ``covers`` test, so pooling requires same-duration runs
+    to be meaningful only in aggregate, exactly like scorecard merging.
+    """
+    if duration <= 0:
+        raise PredictError(f"duration must be positive, got {duration!r}")
+    seen_levels: List[float] = []
+    for record in records:
+        for band in record.bands:
+            if band.level not in seen_levels:
+                seen_levels.append(band.level)
+    levels: List[LevelCalibration] = []
+    for level in sorted(seen_levels):
+        ticks = 0
+        covered = 0
+        width_sum = 0.0
+        for record in records:
+            band = record.band(level)
+            if band is None:
+                continue
+            ticks += 1
+            width_sum += band.width
+            if band.covers(duration):
+                covered += 1
+        mean_width = width_sum / ticks if ticks else 0.0
+        empirical = covered / ticks if ticks else 0.0
+        # One tick's worth of quantization error is not evidence of
+        # dishonesty: widen the tolerance on short ledgers.
+        tol = max(tolerance, 1.0 / ticks) if ticks else tolerance
+        levels.append(LevelCalibration(
+            level=level,
+            ticks=ticks,
+            covered=covered,
+            mean_width_seconds=mean_width,
+            sharpness=mean_width / duration,
+            verdict=_verdict(empirical, level, tol) if ticks else VERDICT_NO_DATA,
+        ))
+    report = CalibrationReport(
+        predictor=predictor,
+        duration=float(duration),
+        ticks=len(records),
+        levels=tuple(levels),
+        pinball_loss=pinball_loss(records, duration),
+        rolling=tuple(rolling_coverage(
+            records, duration,
+            level=rolling_level, window=window, tolerance=tolerance,
+        )),
+        tolerance=tolerance,
+    )
+    for lv in report.levels:
+        _COVERAGE.labels(
+            predictor=predictor, level=level_label(lv.level)
+        ).set(lv.empirical)
+    return report
+
+
+def pooled_calibration(
+    ledgers: Sequence[Tuple[Sequence[PredictionRecord], float]],
+    *,
+    predictor: str = "controller",
+    tolerance: float = HONESTY_TOLERANCE,
+    window: int = ROLLING_WINDOW,
+) -> CalibrationReport:
+    """Pool several runs' ``(records, realized duration)`` pairs into one
+    reliability report: each record is judged against *its own* run's
+    realized completion, then coverage aggregates across the pool.
+
+    Ticks within a run are not independent evidence — they all face the
+    same single realized completion, so a run tends to cover at every
+    tick or at none.  The verdict tolerance therefore widens to a
+    two-sigma binomial interval on the *run* count (the effective sample
+    size), not the tick count; the per-tick coverage numbers themselves
+    are reported unwidened.
+    """
+    seen_levels: List[float] = []
+    pooled: List[Tuple[PredictionRecord, float]] = []
+    durations: List[float] = []
+    for records, duration in ledgers:
+        if duration <= 0:
+            raise PredictError(f"duration must be positive, got {duration!r}")
+        durations.append(float(duration))
+        for record in records:
+            pooled.append((record, float(duration)))
+            for band in record.bands:
+                if band.level not in seen_levels:
+                    seen_levels.append(band.level)
+    mean_duration = sum(durations) / len(durations) if durations else 1.0
+    levels: List[LevelCalibration] = []
+    for level in sorted(seen_levels):
+        ticks = 0
+        covered = 0
+        width_sum = 0.0
+        for record, duration in pooled:
+            band = record.band(level)
+            if band is None:
+                continue
+            ticks += 1
+            width_sum += band.width
+            if band.covers(duration):
+                covered += 1
+        mean_width = width_sum / ticks if ticks else 0.0
+        empirical = covered / ticks if ticks else 0.0
+        tol = tolerance
+        if ticks:
+            tol = max(tol, 1.0 / ticks)
+        if durations:
+            tol = max(
+                tol,
+                2.0 * (level * (1.0 - level) / len(durations)) ** 0.5,
+            )
+        levels.append(LevelCalibration(
+            level=level,
+            ticks=ticks,
+            covered=covered,
+            mean_width_seconds=mean_width,
+            sharpness=mean_width / mean_duration if mean_duration else 0.0,
+            verdict=_verdict(empirical, level, tol) if ticks else VERDICT_NO_DATA,
+        ))
+    total_loss = 0.0
+    for records, duration in ledgers:
+        if records:
+            total_loss += pinball_loss(records, duration) * len(records)
+    ticks_total = len(pooled)
+    report = CalibrationReport(
+        predictor=predictor,
+        duration=mean_duration,
+        ticks=ticks_total,
+        levels=tuple(levels),
+        pinball_loss=total_loss / ticks_total if ticks_total else 0.0,
+        rolling=(),
+        tolerance=tolerance,
+    )
+    for lv in report.levels:
+        _COVERAGE.labels(
+            predictor=predictor, level=level_label(lv.level)
+        ).set(lv.empirical)
+    return report
+
+
+def interval_hits(
+    records: Sequence[PredictionRecord],
+    duration: float,
+    *,
+    levels: Sequence[float] = (0.8, 0.95),
+) -> Tuple[Tuple[float, int, int], ...]:
+    """Per-level ``(level, covered, ticks)`` counts — the scorecard's
+    interval-coverage columns are built from these."""
+    out: List[Tuple[float, int, int]] = []
+    for level in levels:
+        ticks = 0
+        covered = 0
+        for record in records:
+            band = record.band(level)
+            if band is None:
+                continue
+            ticks += 1
+            if band.covers(duration):
+                covered += 1
+        out.append((float(level), covered, ticks))
+    return tuple(out)
+
+
+#: Table headers matching :func:`reliability_rows`.
+RELIABILITY_HEADERS = (
+    "level",
+    "ticks",
+    "covered",
+    "empirical",
+    "mean width [min]",
+    "sharpness [% dur]",
+    "verdict",
+)
+
+
+def reliability_rows(report: CalibrationReport) -> List[List]:
+    """Rows (matching :data:`RELIABILITY_HEADERS`) for report tables."""
+    rows: List[List] = []
+    for lv in report.levels:
+        rows.append([
+            f"{lv.level * 100:g}%",
+            lv.ticks,
+            lv.covered,
+            lv.empirical,
+            lv.mean_width_seconds / 60.0,
+            100.0 * lv.sharpness,
+            lv.verdict,
+        ])
+    return rows
+
+
+#: Table headers matching :func:`timeline_rows`.
+TIMELINE_HEADERS = (
+    "tick",
+    "elapsed [min]",
+    "alloc",
+    "p50 [min]",
+    "p80 band [min]",
+    "p95 band [min]",
+    "deadline [min]",
+    "hit90",
+)
+
+
+def timeline_rows(
+    records: Sequence[PredictionRecord],
+    *,
+    duration: Optional[float] = None,
+    deadline: Optional[float] = None,
+    schedule: Sequence[Tuple[float, float]] = (),
+) -> List[List]:
+    """Per-tick interval table (what ``repro predict timeline`` prints).
+
+    With a ``duration`` the last column marks whether the 90% band covered
+    the realized completion; with a ``deadline`` the in-force deadline
+    column replays scripted mid-run changes via the shared
+    :func:`~repro.telemetry.slo.deadline_at` helper.
+    """
+    rows: List[List] = []
+    for record in records:
+        b80 = record.band(0.8)
+        b95 = record.band(0.95)
+        b90 = record.band(0.9)
+        if duration is not None and b90 is not None:
+            hit = "y" if b90.covers(duration) else "n"
+        else:
+            hit = "-"
+        rows.append([
+            record.tick,
+            record.elapsed / 60.0,
+            record.allocation,
+            record.median / 60.0,
+            (f"[{b80.lo / 60.0:.1f}, {b80.hi / 60.0:.1f}]"
+             if b80 is not None else "-"),
+            (f"[{b95.lo / 60.0:.1f}, {b95.hi / 60.0:.1f}]"
+             if b95 is not None else "-"),
+            (deadline_at(record.elapsed, deadline, schedule) / 60.0
+             if deadline is not None else "-"),
+            hit,
+        ])
+    return rows
+
+
+__all__ = [
+    "CalibrationReport",
+    "HONESTY_TOLERANCE",
+    "IntervalBand",
+    "LevelCalibration",
+    "NOMINAL_LEVELS",
+    "PredictError",
+    "PredictionLedger",
+    "PredictionRecord",
+    "RELIABILITY_HEADERS",
+    "ROLLING_WINDOW",
+    "RollingPoint",
+    "TIMELINE_HEADERS",
+    "VERDICT_CONSERVATIVE",
+    "VERDICT_HONEST",
+    "VERDICT_NO_DATA",
+    "VERDICT_OVERCONFIDENT",
+    "calibration",
+    "interval_hits",
+    "intervals_from_audit",
+    "level_label",
+    "pinball_loss",
+    "pooled_calibration",
+    "publish",
+    "quantiles_for",
+    "record_from_quantiles",
+    "reliability_rows",
+    "rolling_coverage",
+    "timeline_rows",
+]

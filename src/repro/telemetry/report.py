@@ -33,6 +33,14 @@ import html as _html
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.telemetry.predict import (
+    RELIABILITY_HEADERS,
+    CalibrationReport,
+    PredictionRecord,
+    calibration as _predict_calibration,
+    interval_hits as _interval_hits,
+    reliability_rows,
+)
 from repro.telemetry.scorecard import (
     SCORECARD_HEADERS,
     Scorecard,
@@ -80,6 +88,12 @@ class RunReport:
     #: after the chaos section — e.g. the fleet driver's per-template
     #: lineage/staleness summary.
     extra_sections: Tuple[Tuple[str, Tuple[Tuple[str, float], ...]], ...] = ()
+    #: The run's interval ledger (one record per non-degraded control
+    #: tick); drives the fan chart.
+    prediction_records: Tuple[PredictionRecord, ...] = ()
+    #: Honesty verdict on the ledger, scored against the realized
+    #: completion; None when the run recorded no intervals.
+    prediction_calibration: Optional[CalibrationReport] = None
 
 
 #: Display order and labels for the flat dict ChaosEngine.summary() returns.
@@ -121,6 +135,8 @@ _FLEET_SUMMARY_LABELS = (
     ("mean_staleness_days", "mean model staleness [days]"),
     ("final_generation", "final stored generation"),
     ("deadline_minutes", "deadline [min]"),
+    ("prediction_ticks", "interval ticks"),
+    ("coverage90", "interval coverage @90%"),
 )
 
 
@@ -154,6 +170,7 @@ def from_audit_and_trace(
     notes: Sequence[str] = (),
     chaos: Sequence[Tuple[str, float]] = (),
     extra_sections: Sequence[Tuple[str, Sequence[Tuple[str, float]]]] = (),
+    prediction_records: Sequence[PredictionRecord] = (),
 ) -> RunReport:
     """Report for a finished :class:`~repro.jobs.trace.RunTrace` plus its
     controller audit trail (the in-process case)."""
@@ -162,9 +179,14 @@ def from_audit_and_trace(
     )
     cards: List[Scorecard] = []
     if records:
-        cards.append(
-            _scorecard_from_audit(records, trace.duration, name=policy, slack=slack)
+        card = _scorecard_from_audit(
+            records, trace.duration, name=policy, slack=slack
         )
+        if prediction_records:
+            card = card.with_interval_hits(
+                _interval_hits(tuple(prediction_records), trace.duration)
+            )
+        cards.append(card)
     cards.extend(extra_scorecards)
     return RunReport(
         title=title if title is not None else f"{trace.job_name} / {policy}",
@@ -183,6 +205,14 @@ def from_audit_and_trace(
         chaos=tuple(chaos),
         extra_sections=tuple(
             (section_title, tuple(rows)) for section_title, rows in extra_sections
+        ),
+        prediction_records=tuple(prediction_records),
+        prediction_calibration=(
+            _predict_calibration(
+                tuple(prediction_records), trace.duration, predictor=policy
+            )
+            if prediction_records
+            else None
         ),
     )
 
@@ -206,16 +236,20 @@ def from_result(result, *, table=None, title: Optional[str] = None) -> RunReport
         slack=slack,
         schedule=schedule,
     )
+    prediction_records = tuple(getattr(result, "prediction_records", ()) or ())
     cards: List[Scorecard] = []
     if result.audit_records:
-        cards.append(
-            _scorecard_from_audit(
-                result.audit_records,
-                result.trace.duration,
-                name=result.metrics.policy,
-                slack=slack,
-            )
+        card = _scorecard_from_audit(
+            result.audit_records,
+            result.trace.duration,
+            name=result.metrics.policy,
+            slack=slack,
         )
+        if prediction_records:
+            card = card.with_interval_hits(
+                _interval_hits(prediction_records, result.trace.duration)
+            )
+        cards.append(card)
     notes = [f"runtime scale {result.runtime_scale:.3f}"]
     if schedule:
         notes.append(
@@ -241,6 +275,16 @@ def from_result(result, *, table=None, title: Optional[str] = None) -> RunReport
         ),
         notes=tuple(notes),
         chaos=chaos_rows_from_summary(getattr(result, "chaos_summary", None)),
+        prediction_records=prediction_records,
+        prediction_calibration=(
+            _predict_calibration(
+                prediction_records,
+                result.trace.duration,
+                predictor=result.metrics.policy,
+            )
+            if prediction_records
+            else None
+        ),
     )
 
 
@@ -509,6 +553,93 @@ def _svg_chart(
     )
 
 
+def _band_polygon(
+    records: Sequence[PredictionRecord], level: float, sx, sy, opacity: float
+) -> str:
+    """One nominal level's fan wedge: upper edge left-to-right, lower edge
+    back, closed and filled."""
+    upper: List[str] = []
+    lower: List[str] = []
+    for record in records:
+        band = record.band(level)
+        if band is None:
+            continue
+        x = _fmt(sx(record.elapsed))
+        upper.append(f"{x},{_fmt(sy(band.hi / 60.0))}")
+        lower.append(f"{x},{_fmt(sy(band.lo / 60.0))}")
+    if len(upper) < 2:
+        return ""
+    points = " ".join(upper + lower[::-1])
+    tip = _html.escape(f"{level * 100:g}% prediction interval")
+    return (
+        f'<polygon points="{points}" fill="var(--s1)" '
+        f'opacity="{opacity:g}"><title>{tip}</title></polygon>'
+    )
+
+
+def _fan_chart(
+    records: Sequence[PredictionRecord],
+    duration: float,
+    deadline: float,
+) -> str:
+    """The prediction fan: p95/p80 completion-time bands (y, minutes) per
+    control tick (x), the median path, and the realized completion the
+    bands were supposed to cover."""
+    pts = [r for r in records if r.bands]
+    if len(pts) < 2:
+        return ""
+    x_max = max(duration, max(r.elapsed for r in pts))
+    y_top = max(
+        max((r.band(0.95).hi if r.band(0.95) else r.median) for r in pts),
+        duration,
+        deadline,
+    ) / 60.0
+    sx, sy = _x_scale(x_max), _y_scale(y_top * 1.05)
+    body: List[str] = []
+    for frac in (0.0, 0.5, 1.0):
+        y = y_top * 1.05 * frac
+        py = _fmt(sy(y))
+        body.append(
+            f'<line x1="{_MARGIN_L}" y1="{py}" x2="{_CHART_W - _MARGIN_R}" '
+            f'y2="{py}" stroke="var(--grid)" stroke-width="1"/>'
+            f'<text x="{_MARGIN_L - 6}" y="{py}" text-anchor="end" '
+            f'dominant-baseline="middle" class="tick">{y:.3g}</text>'
+        )
+    for frac in (0.0, 0.5, 1.0):
+        x = x_max * frac
+        body.append(
+            f'<text x="{_fmt(sx(x))}" y="{_CHART_H - 8}" text-anchor="middle" '
+            f'class="tick">{x / 60:.0f} min</text>'
+        )
+    body.append(_band_polygon(pts, 0.95, sx, sy, 0.15))
+    body.append(_band_polygon(pts, 0.8, sx, sy, 0.25))
+    median_points = [(r.elapsed, r.median / 60.0) for r in pts]
+    body.append(
+        f'<path d="{_line_path(median_points, sx, sy)}" fill="none" '
+        f'stroke="var(--s1)" stroke-width="2" stroke-linejoin="round"/>'
+    )
+    body.extend(
+        _markers(median_points, sx, sy, "--s1", "p50 completion", " min")
+    )
+    py = _fmt(sy(duration / 60.0))
+    body.append(
+        f'<line x1="{_MARGIN_L}" y1="{py}" x2="{_CHART_W - _MARGIN_R}" '
+        f'y2="{py}" stroke="var(--s2)" stroke-width="2" '
+        f'stroke-dasharray="6 3"/>'
+        f'<text x="{_CHART_W - _MARGIN_R}" y="{py}" text-anchor="end" '
+        f'dy="-4" class="tick">realized {duration / 60:.1f} min</text>'
+    )
+    caption = (
+        "Prediction fan: completion-time bands (p80 dark, p95 light) and "
+        "median per control tick vs the realized completion"
+    )
+    return (
+        f'<figure><figcaption>{_html.escape(caption)}</figcaption>'
+        f'<svg viewBox="0 0 {_CHART_W} {_CHART_H}" role="img" '
+        f'aria-label="{_html.escape(caption)}">{"".join(body)}</svg></figure>'
+    )
+
+
 # ----------------------------------------------------------------------
 # HTML rendering
 # ----------------------------------------------------------------------
@@ -649,11 +780,42 @@ def render_html(report: RunReport) -> str:
             cells = [f"<td>{_html.escape(str(row[0]))}</td>", f"<td>{row[1]}</td>"]
             cells += [f"<td>{v:.2f}</td>" for v in row[2:6]]
             cells.append(f"<td>{row[6]:.1f}</td>")
+            cells += [f"<td>{_html.escape(str(v))}</td>" for v in row[7:9]]
             rows.append("<tr>" + "".join(cells) + "</tr>")
         scorecard_html = (
             "<h2>Prediction scorecards</h2>"
             f"<table><thead><tr>{head}</tr></thead>"
             f"<tbody>{''.join(rows)}</tbody></table>"
+        )
+    predict_html = ""
+    if report.prediction_calibration is not None:
+        cal = report.prediction_calibration
+        fan = _fan_chart(report.prediction_records, slo.duration, slo.deadline)
+        head = "".join(
+            f"<th>{_html.escape(h)}</th>" for h in RELIABILITY_HEADERS
+        )
+        rows = []
+        for row in reliability_rows(cal):
+            rows.append(
+                "<tr>"
+                f"<td>{_html.escape(str(row[0]))}</td>"
+                f"<td>{row[1]}</td><td>{row[2]}</td>"
+                f"<td>{row[3]:.3f}</td><td>{row[4]:.1f}</td>"
+                f"<td>{row[5]:.1f}</td>"
+                f"<td>{_html.escape(str(row[6]))}</td>"
+                "</tr>"
+            )
+        verdict_class = "met" if cal.verdict == "honest" else "missed"
+        predict_html = (
+            "<h2>Prediction honesty "
+            f'<span class="badge {verdict_class}">{_html.escape(cal.verdict)}'
+            "</span></h2>"
+            f"{fan}"
+            f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>"
+            f'<p class="notes">{cal.ticks} interval tick(s), pinball loss '
+            f"{cal.pinball_loss / 60:.2f} min; empirical coverage within "
+            f"&plusmn;{cal.tolerance:.0%} of nominal counts as honest.</p>"
         )
     chaos_html = ""
     if report.chaos:
@@ -700,6 +862,7 @@ def render_html(report: RunReport) -> str:
 <h2>Timelines</h2>
 {''.join(charts) if charts else '<p class="notes">no time series recorded</p>'}
 {scorecard_html}
+{predict_html}
 {chaos_html}
 {extra_html}
 {notes_html}
@@ -751,6 +914,26 @@ def render_text(report: RunReport) -> str:
         lines.append(
             ascii_table(
                 list(SCORECARD_HEADERS), scorecard_rows(report.scorecards)
+            )
+        )
+    if report.prediction_calibration is not None:
+        cal = report.prediction_calibration
+        lines.append("")
+        lines.append(
+            f"prediction honesty: {cal.verdict} ({cal.ticks} interval "
+            f"tick(s), pinball loss {cal.pinball_loss / 60:.2f} min)"
+        )
+        lines.append(
+            ascii_table(
+                list(RELIABILITY_HEADERS),
+                [
+                    [
+                        row[0], row[1], row[2],
+                        f"{row[3]:.3f}", f"{row[4]:.1f}", f"{row[5]:.1f}",
+                        row[6],
+                    ]
+                    for row in reliability_rows(cal)
+                ],
             )
         )
     if report.chaos:

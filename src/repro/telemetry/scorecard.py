@@ -22,8 +22,8 @@ than delegating to a library whose defaults could drift.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace as _replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def quantile(sorted_values: Sequence[float], q: float) -> float:
@@ -62,6 +62,32 @@ class Scorecard:
     name: str
     points: Tuple[ScorePoint, ...]
     duration: float              # mean job duration over the merged runs
+    #: Per-level ``(nominal level, covered ticks, interval ticks)`` from
+    #: the prediction observatory's interval ledger
+    #: (:func:`repro.telemetry.predict.interval_hits`) — attached by the
+    #: report layer so this module stays stdlib-pure.  Empty when the run
+    #: recorded no distribution-valued predictions.
+    interval_hits: Tuple[Tuple[float, int, int], ...] = ()
+
+    def with_interval_hits(
+        self, hits: Sequence[Tuple[float, int, int]]
+    ) -> "Scorecard":
+        """This card with interval-coverage counts attached."""
+        return _replace(
+            self,
+            interval_hits=tuple(
+                (float(level), int(covered), int(ticks))
+                for level, covered, ticks in hits
+            ),
+        )
+
+    def interval_coverage(self, level: float) -> Optional[float]:
+        """Empirical coverage of the nominal ``level`` band, or None when
+        the ledger recorded no bands at that level."""
+        for lv, covered, ticks in self.interval_hits:
+            if abs(lv - level) < 1e-9 and ticks:
+                return covered / ticks
+        return None
 
     @classmethod
     def from_predictions(
@@ -126,7 +152,7 @@ class Scorecard:
 
     def summary(self) -> dict:
         """JSON-serializable digest (the numbers reports embed)."""
-        return {
+        out = {
             "name": self.name,
             "ticks": self.ticks,
             "bias_seconds": self.bias_seconds,
@@ -135,6 +161,12 @@ class Scorecard:
             "max_abs_error_seconds": self.max_abs_error,
             "p90_abs_error_fraction": self.relative(self.p90_abs_error),
         }
+        if self.interval_hits:
+            out["interval_coverage"] = {
+                f"{level * 100:g}": (covered / ticks if ticks else 0.0)
+                for level, covered, ticks in self.interval_hits
+            }
+        return out
 
 
 def from_audit(
@@ -178,16 +210,34 @@ def predictor_scorecard(
 
 def merge(name: str, cards: Sequence[Scorecard]) -> Scorecard:
     """Pool several runs' scorecards (e.g. one per experiment repetition)
-    into a single error distribution."""
+    into a single error distribution.  Interval-coverage counts sum per
+    nominal level, so the merged coverage is over pooled ticks."""
     cards = [c for c in cards if c.points]
     if not cards:
         return Scorecard(name=name, points=(), duration=0.0)
     points = tuple(p for c in cards for p in c.points)
     duration = sum(c.duration for c in cards) / len(cards)
-    return Scorecard(name=name, points=points, duration=duration)
+    pooled: Dict[float, List[int]] = {}
+    for card in cards:
+        for level, covered, ticks in card.interval_hits:
+            totals = pooled.setdefault(float(level), [0, 0])
+            totals[0] += covered
+            totals[1] += ticks
+    return Scorecard(
+        name=name,
+        points=points,
+        duration=duration,
+        interval_hits=tuple(
+            (level, pooled[level][0], pooled[level][1])
+            for level in sorted(pooled)
+        ),
+    )
 
 
-#: Table headers matching :func:`scorecard_rows`.
+#: Table headers matching :func:`scorecard_rows`.  The last two columns
+#: are the prediction observatory's interval coverage: the empirical hit
+#: rate of the nominal 80% / 95% completion-time bands ("-" when the run
+#: recorded no distribution-valued predictions).
 SCORECARD_HEADERS = (
     "predictor",
     "ticks",
@@ -196,7 +246,14 @@ SCORECARD_HEADERS = (
     "p90 |err| [min]",
     "max |err| [min]",
     "p90 |err| [% dur]",
+    "cov@80%",
+    "cov@95%",
 )
+
+
+def _coverage_cell(card: Scorecard, level: float) -> str:
+    coverage = card.interval_coverage(level)
+    return f"{coverage:.2f}" if coverage is not None else "-"
 
 
 def scorecard_rows(cards: Sequence[Scorecard]) -> List[List]:
@@ -211,6 +268,8 @@ def scorecard_rows(cards: Sequence[Scorecard]) -> List[List]:
             card.p90_abs_error / 60.0,
             card.max_abs_error / 60.0,
             100.0 * card.relative(card.p90_abs_error),
+            _coverage_cell(card, 0.8),
+            _coverage_cell(card, 0.95),
         ])
     return rows
 

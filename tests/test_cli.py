@@ -493,3 +493,102 @@ class TestFleet:
             "help text drifted; regenerate tests/golden/fleet_help.txt "
             "(COLUMNS=80) if the change is intentional"
         )
+
+
+class TestPredict:
+    @pytest.fixture(scope="class")
+    def bundle(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("predict") / "bundle.json"
+        code, text = run_cli(
+            "train", "--job", "mapreduce", "--out", str(path),
+            "--cpa-reps", "2", "--seed", "4",
+        )
+        assert code == 0
+        return path
+
+    def test_timeline_prints_bands_and_hit_column(self, bundle):
+        code, text = run_cli(
+            "predict", "timeline", "--bundle", str(bundle),
+            "--deadline-minutes", "60", "--seed", "2",
+        )
+        assert code == 0
+        assert "hit90" in text
+        assert "p80 band [min]" in text
+        assert "interval tick(s)" in text
+
+    def test_score_prints_reliability_table_and_verdict(self, bundle):
+        code, text = run_cli(
+            "predict", "score", "--bundle", str(bundle),
+            "--deadline-minutes", "60", "--seed", "2",
+        )
+        assert code == 0
+        assert "empirical" in text
+        assert "verdict:" in text
+        assert "pinball" in text
+
+    def test_score_json_digest(self, bundle, tmp_path):
+        digest = tmp_path / "score.json"
+        code, text = run_cli(
+            "predict", "score", "--bundle", str(bundle),
+            "--deadline-minutes", "60", "--seed", "2",
+            "--json-out", str(digest),
+        )
+        assert code == 0
+        assert f"wrote prediction digest to {digest}" in text
+        payload = json.loads(digest.read_text(encoding="utf-8"))
+        assert payload["kind"] == "predict_score"
+        assert payload["schema_version"] == 1
+        levels = {lv["level"] for lv in payload["calibration"]["levels"]}
+        assert levels == {0.5, 0.8, 0.9, 0.95}
+        assert payload["calibration"]["verdict"] in (
+            "honest", "overconfident", "conservative"
+        )
+
+    def test_digest_identical_across_worker_counts(self, bundle, tmp_path,
+                                                   monkeypatch):
+        # The prediction digest must not depend on parallelism settings.
+        digests = []
+        for jobs in ("1", "2"):
+            monkeypatch.setenv("REPRO_JOBS", jobs)
+            path = tmp_path / f"score-{jobs}.json"
+            code, _text = run_cli(
+                "predict", "score", "--bundle", str(bundle),
+                "--deadline-minutes", "60", "--seed", "2",
+                "--json-out", str(path),
+            )
+            assert code == 0
+            digests.append(path.read_bytes())
+        assert digests[0] == digests[1]
+
+    def test_policy_without_distribution_exits_one(self, bundle):
+        code, text = run_cli(
+            "predict", "score", "--bundle", str(bundle),
+            "--deadline-minutes", "60", "--policy", "max-allocation",
+        )
+        assert code == 1
+        assert "no prediction intervals recorded" in text
+
+    def test_unreadable_bundle_exits_two(self, tmp_path):
+        code, text = run_cli(
+            "predict", "timeline", "--bundle", str(tmp_path / "ghost.json"),
+            "--deadline-minutes", "60",
+        )
+        assert code == 2
+        assert "cannot load bundle" in text
+
+    def test_missing_subcommand_exits_two(self):
+        code, _text = run_cli("predict")
+        assert code == 2
+
+    def test_predict_help_matches_golden(self, monkeypatch, capsys):
+        import pathlib
+
+        monkeypatch.setenv("COLUMNS", "80")
+        code, _text = run_cli("predict", "score", "--help")
+        assert code == 0
+        got = capsys.readouterr().out
+        golden = pathlib.Path(__file__).parent / "golden" / "predict_help.txt"
+        assert got == golden.read_text(encoding="utf-8"), (
+            "help text drifted; regenerate tests/golden/predict_help.txt "
+            "(COLUMNS=80) if the change is intentional"
+        )

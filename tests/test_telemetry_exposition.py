@@ -152,3 +152,75 @@ class TestSnapshotDeterminism:
         assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
             b.snapshot(), sort_keys=True
         )
+
+
+class TestPredictionGauges:
+    """The prediction observatory's module-level instruments land on the
+    default registry and survive a render -> parse round trip."""
+
+    def publish_and_score(self, predictor):
+        from repro.telemetry import predict
+        from repro.telemetry.metrics import REGISTRY
+
+        record = predict.record_from_quantiles(
+            tick=0, elapsed=60.0, progress=0.5, allocation=10,
+            quantiles={
+                q: 300.0 + 100.0 * (2.0 * q - 1.0)
+                for q in predict.quantiles_for(predict.NOMINAL_LEVELS)
+            },
+        )
+        predict.publish(record, predictor=predictor)
+        predict.calibration([record], 360.0, predictor=predictor)
+        return record, REGISTRY
+
+    def sample(self, parsed, metric, predictor, level=None):
+        wanted = [f'predictor="{predictor}"']
+        if level is not None:
+            wanted.append(f'level="{level}"')
+        matches = [
+            value for labels, value in parsed[metric].items()
+            if all(w in labels for w in wanted)
+        ]
+        assert len(matches) == 1, (metric, wanted, parsed[metric])
+        return matches[0]
+
+    def test_roundtrip_includes_prediction_metrics(self):
+        record, registry = self.publish_and_score("exposition-test")
+        parsed = parse_prometheus(render_prometheus(registry))
+        for metric in (
+            "repro_prediction_interval_lo_seconds",
+            "repro_prediction_interval_hi_seconds",
+            "repro_prediction_median_seconds",
+            "repro_prediction_coverage",
+            "repro_prediction_ticks_total",
+        ):
+            assert metric in parsed, metric
+
+        band = record.band(0.9)
+        lo = self.sample(parsed, "repro_prediction_interval_lo_seconds",
+                         "exposition-test", level="90")
+        hi = self.sample(parsed, "repro_prediction_interval_hi_seconds",
+                         "exposition-test", level="90")
+        assert lo == pytest.approx(band.lo)
+        assert hi == pytest.approx(band.hi)
+        median = self.sample(parsed, "repro_prediction_median_seconds",
+                             "exposition-test")
+        assert median == pytest.approx(record.median)
+
+    def test_scoring_sets_coverage_per_level(self):
+        _record, registry = self.publish_and_score("exposition-cov")
+        parsed = parse_prometheus(render_prometheus(registry))
+        # The single record's 90% band covers the realized 360s.
+        coverage = self.sample(parsed, "repro_prediction_coverage",
+                               "exposition-cov", level="90")
+        assert coverage == 1
+
+    def test_served_metrics_expose_prediction_bands(self):
+        _record, registry = self.publish_and_score("exposition-served")
+        with MetricsServer(0, registry=registry) as server:
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                body = resp.read().decode("utf-8")
+        parsed = parse_prometheus(body)
+        assert self.sample(
+            parsed, "repro_prediction_ticks_total", "exposition-served"
+        ) >= 1

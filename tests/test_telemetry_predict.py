@@ -1,0 +1,414 @@
+"""Unit tests for the prediction observatory: interval ledger, band
+construction, calibration engine, and the audit-trail replay guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.core.control import ControlConfig, CpaPredictor, JockeyController
+from repro.core.cpa import CpaTable
+from repro.core.progress import totalwork
+from repro.core.utility import deadline_utility
+from repro.telemetry.predict import (
+    IntervalBand,
+    NOMINAL_LEVELS,
+    PredictError,
+    PredictionLedger,
+    PredictionRecord,
+    RELIABILITY_HEADERS,
+    TIMELINE_HEADERS,
+    VERDICT_CONSERVATIVE,
+    VERDICT_HONEST,
+    VERDICT_NO_DATA,
+    VERDICT_OVERCONFIDENT,
+    calibration,
+    interval_hits,
+    intervals_from_audit,
+    level_label,
+    pinball_loss,
+    pooled_calibration,
+    quantiles_for,
+    record_from_quantiles,
+    reliability_rows,
+    rolling_coverage,
+    timeline_rows,
+)
+from tests.test_core_simulator import deterministic_profile
+
+
+def make_record(tick, elapsed, median, half_widths):
+    """Synthetic record: symmetric completion-time bands about ``median``
+    with explicit half-widths per level."""
+    bands = tuple(
+        IntervalBand(level=level, lo=median - hw, hi=median + hw)
+        for level, hw in sorted(half_widths.items())
+    )
+    return PredictionRecord(
+        tick=tick, elapsed=elapsed, progress=0.5, allocation=10,
+        median=median, bands=bands,
+    )
+
+
+class TestQuantilesFor:
+    def test_includes_median_and_symmetric_pairs(self):
+        qs = quantiles_for((0.8,))
+        assert qs == pytest.approx((0.1, 0.5, 0.9))
+
+    def test_sorted_and_deduplicated(self):
+        qs = quantiles_for((0.8, 0.8, 0.5))
+        assert qs == pytest.approx((0.1, 0.25, 0.5, 0.75, 0.9))
+        assert list(qs) == sorted(qs)
+
+    @pytest.mark.parametrize("level", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_out_of_range_levels(self, level):
+        with pytest.raises(PredictError):
+            quantiles_for((level,))
+
+
+class TestLevelLabel:
+    def test_drops_trailing_zeros(self):
+        assert level_label(0.9) == "90"
+        assert level_label(0.95) == "95"
+        assert level_label(0.5) == "50"
+
+
+class TestRecordFromQuantiles:
+    # Linear quantile function over exactly the keys the live hook uses
+    # (dict float keys must match quantiles_for's own arithmetic).
+    QUANTILES = {
+        q: 100.0 + 25.0 * (2.0 * q - 1.0)
+        for q in quantiles_for(NOMINAL_LEVELS)
+    }
+
+    def build(self, **kwargs):
+        defaults = dict(
+            tick=0, elapsed=50.0, progress=0.4, allocation=20,
+            quantiles=dict(self.QUANTILES), levels=NOMINAL_LEVELS,
+        )
+        defaults.update(kwargs)
+        return record_from_quantiles(**defaults)
+
+    def test_median_is_elapsed_plus_remaining_median(self):
+        rec = self.build(error_rel=0.0)
+        assert rec.median == 150.0
+
+    def test_raw_bands_match_quantiles_when_error_rel_zero(self):
+        # q(0.1) = 80, q(0.9) = 120 under the linear quantile function.
+        rec = self.build(error_rel=0.0)
+        b80 = rec.band(0.8)
+        assert b80.lo == pytest.approx(50.0 + 80.0)
+        assert b80.hi == pytest.approx(50.0 + 120.0)
+
+    def test_envelope_widens_in_quadrature(self):
+        raw = self.build(error_rel=0.0).band(0.8)
+        fat = self.build(error_rel=0.1).band(0.8)
+        # Raw half-width 20; sigma = 0.1 * 150; extra = 0.8 * 15 = 12.
+        expected_lo = 150.0 - (20.0 ** 2 + 12.0 ** 2) ** 0.5
+        assert fat.lo == pytest.approx(expected_lo)
+        assert fat.width > raw.width
+
+    def test_bands_never_predict_the_past(self):
+        # A huge envelope would push lo below the current elapsed time.
+        rec = self.build(error_rel=5.0)
+        for band in rec.bands:
+            assert band.lo >= rec.elapsed
+
+    def test_band_widths_monotone_in_level(self):
+        rec = self.build()
+        widths = [b.width for b in rec.bands]
+        assert widths == sorted(widths)
+
+    def test_missing_median_rejected(self):
+        qs = {k: v for k, v in self.QUANTILES.items() if k != 0.5}
+        with pytest.raises(PredictError):
+            self.build(quantiles=qs)
+
+    def test_missing_level_quantile_rejected(self):
+        lowest = min(self.QUANTILES)
+        qs = {k: v for k, v in self.QUANTILES.items() if k != lowest}
+        with pytest.raises(PredictError):
+            self.build(quantiles=qs, levels=(0.95,))
+
+    def test_negative_error_rel_rejected(self):
+        with pytest.raises(PredictError):
+            self.build(error_rel=-0.1)
+
+    def test_band_lookup_misses_return_none(self):
+        assert self.build().band(0.42) is None
+
+    def test_covers_is_inclusive(self):
+        band = IntervalBand(level=0.8, lo=10.0, hi=20.0)
+        assert band.covers(10.0) and band.covers(20.0)
+        assert not band.covers(9.999) and not band.covers(20.001)
+
+    def test_deadline_in_force_replays_schedule(self):
+        rec = make_record(0, elapsed=120.0, median=200.0, half_widths={0.9: 10.0})
+        assert rec.deadline_in_force(600.0) == 600.0
+        assert rec.deadline_in_force(600.0, schedule=((100.0, 900.0),)) == 900.0
+
+
+class TestLedger:
+    def test_records_in_order(self):
+        ledger = PredictionLedger()
+        for i in range(3):
+            ledger.record(make_record(i, float(i), 100.0, {0.9: 5.0}))
+        assert [r.tick for r in ledger.records()] == [0, 1, 2]
+        assert len(ledger) == 3
+
+    def test_capacity_evicts_oldest(self):
+        ledger = PredictionLedger(capacity=2)
+        for i in range(4):
+            ledger.record(make_record(i, float(i), 100.0, {0.9: 5.0}))
+        assert [r.tick for r in ledger.records()] == [2, 3]
+
+    def test_clear(self):
+        ledger = PredictionLedger()
+        ledger.record(make_record(0, 0.0, 100.0, {0.9: 5.0}))
+        ledger.clear()
+        assert len(ledger) == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(PredictError):
+            PredictionLedger(capacity=0)
+
+
+class TestCalibration:
+    def covering_records(self, n_cover, n_miss, level=0.8, duration=100.0):
+        records = []
+        for i in range(n_cover):
+            records.append(make_record(i, 10.0, duration, {level: 5.0}))
+        for i in range(n_miss):
+            records.append(
+                make_record(n_cover + i, 10.0, duration + 50.0, {level: 5.0})
+            )
+        return records
+
+    def test_exact_coverage_is_honest(self):
+        records = self.covering_records(8, 2)
+        report = calibration(records, 100.0)
+        lv = report.level(0.8)
+        assert lv.covered == 8 and lv.ticks == 10
+        assert lv.empirical == pytest.approx(0.8)
+        assert lv.verdict == VERDICT_HONEST
+        assert report.verdict == VERDICT_HONEST
+
+    def test_undercoverage_is_overconfident(self):
+        report = calibration(self.covering_records(3, 7), 100.0)
+        assert report.level(0.8).verdict == VERDICT_OVERCONFIDENT
+        assert report.verdict == VERDICT_OVERCONFIDENT
+
+    def test_overcoverage_is_conservative(self):
+        report = calibration(self.covering_records(10, 0), 100.0)
+        assert report.level(0.8).verdict == VERDICT_CONSERVATIVE
+        assert report.verdict == VERDICT_CONSERVATIVE
+
+    def test_overconfidence_dominates_conservatism(self):
+        records = (
+            self.covering_records(3, 7, level=0.8)
+            + self.covering_records(10, 0, level=0.5)
+        )
+        assert calibration(records, 100.0).verdict == VERDICT_OVERCONFIDENT
+
+    def test_empty_ledger_is_no_data(self):
+        report = calibration([], 100.0)
+        assert report.verdict == VERDICT_NO_DATA
+        assert report.ticks == 0
+
+    def test_short_ledger_widens_tolerance(self):
+        # 2 of 3 covered at level 0.9: |0.667 - 0.9| = 0.23 < 1/3.
+        report = calibration(self.covering_records(2, 1, level=0.9), 100.0)
+        assert report.level(0.9).verdict == VERDICT_HONEST
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(PredictError):
+            calibration([], 0.0)
+
+    def test_summary_is_json_round_trippable(self):
+        import json
+
+        report = calibration(self.covering_records(8, 2), 100.0)
+        payload = json.loads(json.dumps(report.summary(), sort_keys=True))
+        assert payload["verdict"] == VERDICT_HONEST
+        assert payload["levels"][0]["empirical_coverage"] == pytest.approx(0.8)
+
+
+class TestPinballLoss:
+    def test_perfect_point_forecast_scores_zero(self):
+        rec = make_record(0, 10.0, 100.0, {0.8: 0.0})
+        assert pinball_loss([rec], 100.0) == pytest.approx(0.0)
+
+    def test_hand_computed_single_band(self):
+        # Median 90, band [80, 100] at level 0.8; duration 100.
+        # tau=0.5 @ 90: 0.5*10 = 5; tau=0.1 @ 80: 0.1*20 = 2;
+        # tau=0.9 @ 100: 0.9*0 = 0.  Mean over 3 = 7/3.
+        rec = make_record(0, 10.0, 90.0, {0.8: 10.0})
+        assert pinball_loss([rec], 100.0) == pytest.approx(7.0 / 3.0)
+
+    def test_sharper_honest_forecast_scores_lower(self):
+        sharp = make_record(0, 10.0, 100.0, {0.8: 5.0})
+        vague = make_record(0, 10.0, 100.0, {0.8: 50.0})
+        assert pinball_loss([sharp], 100.0) < pinball_loss([vague], 100.0)
+
+    def test_empty_is_zero(self):
+        assert pinball_loss([], 100.0) == 0.0
+
+
+class TestRollingCoverage:
+    def test_window_localizes_late_run_misses(self):
+        covers = [make_record(i, float(i), 100.0, {0.9: 5.0}) for i in range(6)]
+        misses = [
+            make_record(6 + i, 6.0 + i, 200.0, {0.9: 5.0}) for i in range(6)
+        ]
+        points = rolling_coverage(covers + misses, 100.0, window=3)
+        assert points[2].coverage == pytest.approx(1.0)
+        assert points[-1].coverage == pytest.approx(0.0)
+        assert points[-1].verdict == VERDICT_OVERCONFIDENT
+
+    def test_window_never_exceeds_available_ticks(self):
+        records = [make_record(i, float(i), 100.0, {0.9: 5.0}) for i in range(2)]
+        points = rolling_coverage(records, 100.0, window=10)
+        assert [p.window for p in points] == [1, 2]
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(PredictError):
+            rolling_coverage([], 100.0, window=0)
+
+
+class TestPooledCalibration:
+    def test_records_judged_against_their_own_duration(self):
+        # Run A completes at 100 with bands around 100; run B at 300 with
+        # bands around 300.  Pooled against a shared mean they'd all miss.
+        run_a = [make_record(i, 10.0, 100.0, {0.9: 5.0}) for i in range(4)]
+        run_b = [make_record(i, 10.0, 300.0, {0.9: 5.0}) for i in range(4)]
+        report = pooled_calibration([(run_a, 100.0), (run_b, 300.0)])
+        assert report.coverage(0.9) == pytest.approx(1.0)
+        assert report.duration == pytest.approx(200.0)
+
+    def test_tolerance_scales_with_run_count_not_tick_count(self):
+        # 4 runs, level 0.9: 2-sigma binomial tolerance = 2*sqrt(.09/4)
+        # = 0.3, so 3-of-4 runs covering (0.75 empirical) stays honest
+        # even with many ticks per run.
+        cover = [
+            [make_record(i, 10.0, 100.0, {0.9: 5.0}) for i in range(20)]
+            for _ in range(3)
+        ]
+        miss = [make_record(i, 10.0, 200.0, {0.9: 5.0}) for i in range(20)]
+        ledgers = [(r, 100.0) for r in cover] + [(miss, 100.0)]
+        report = pooled_calibration(ledgers)
+        assert report.coverage(0.9) == pytest.approx(0.75)
+        assert report.level(0.9).verdict == VERDICT_HONEST
+
+    def test_gross_undercoverage_still_flagged(self):
+        # 25 runs, only 2 covering: 0.08 << 0.9 - 2*sqrt(.09/25) = 0.78.
+        ledgers = []
+        for i in range(25):
+            median = 100.0 if i < 2 else 500.0
+            ledgers.append(
+                ([make_record(0, 10.0, median, {0.9: 5.0})], 100.0)
+            )
+        report = pooled_calibration(ledgers)
+        assert report.level(0.9).verdict == VERDICT_OVERCONFIDENT
+
+    def test_pinball_pools_tick_weighted(self):
+        run_a = [make_record(0, 10.0, 100.0, {0.8: 0.0})]
+        run_b = [make_record(0, 10.0, 90.0, {0.8: 10.0})] * 2
+        report = pooled_calibration([(run_a, 100.0), (run_b, 100.0)])
+        assert report.pinball_loss == pytest.approx((0.0 + 2 * 7.0 / 3.0) / 3)
+
+    def test_empty_pool_is_no_data(self):
+        assert pooled_calibration([]).verdict == VERDICT_NO_DATA
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(PredictError):
+            pooled_calibration([([], -1.0)])
+
+
+class TestIntervalHits:
+    def test_counts_per_level(self):
+        records = [
+            make_record(0, 10.0, 100.0, {0.8: 5.0, 0.95: 10.0}),
+            make_record(1, 10.0, 200.0, {0.8: 5.0, 0.95: 150.0}),
+        ]
+        hits = interval_hits(records, 100.0)
+        assert hits == ((0.8, 1, 2), (0.95, 2, 2))
+
+    def test_missing_level_counts_zero_ticks(self):
+        records = [make_record(0, 10.0, 100.0, {0.8: 5.0})]
+        assert interval_hits(records, 100.0, levels=(0.5,)) == ((0.5, 0, 0),)
+
+
+class TestRows:
+    def records(self):
+        return [
+            make_record(i, 60.0 * i, 600.0, {0.5: 10.0, 0.8: 20.0,
+                                             0.9: 30.0, 0.95: 40.0})
+            for i in range(3)
+        ]
+
+    def test_timeline_rows_match_headers(self):
+        rows = timeline_rows(self.records(), duration=600.0, deadline=900.0)
+        assert len(rows) == 3
+        assert all(len(r) == len(TIMELINE_HEADERS) for r in rows)
+        assert rows[0][-1] == "y"
+        assert rows[0][-2] == pytest.approx(15.0)   # deadline in minutes
+
+    def test_timeline_without_duration_marks_dash(self):
+        rows = timeline_rows(self.records())
+        assert rows[0][-1] == "-"
+        assert rows[0][-2] == "-"
+
+    def test_reliability_rows_match_headers(self):
+        report = calibration(self.records(), 600.0)
+        rows = reliability_rows(report)
+        assert len(rows) == 4
+        assert all(len(r) == len(RELIABILITY_HEADERS) for r in rows)
+        assert rows[0][0] == "50%"
+
+
+class TestAuditReplay:
+    """The offline replay from the audit trail must reproduce the live
+    ledger exactly (the guarantee promised in ``intervals_from_audit``)."""
+
+    @pytest.fixture()
+    def table(self):
+        profile = deterministic_profile()
+        return CpaTable.build(
+            profile,
+            totalwork(profile),
+            np.random.default_rng(0),
+            allocations=(1, 2, 4, 8),
+            reps=3,
+            num_bins=20,
+            sample_dt=2.0,
+        )
+
+    def test_replay_reproduces_live_ledger(self, table):
+        profile = deterministic_profile()
+        predictor = CpaPredictor(table, totalwork(profile))
+        ctl = JockeyController(
+            predictor,
+            deadline_utility(120.0),
+            ControlConfig(slack=1.2, hysteresis=1.0, dead_zone_seconds=0.0,
+                          min_tokens=1, max_tokens=8, allocation_step=1),
+            stage_names=("map", "reduce"),
+        )
+        ctl.initial_allocation()
+        fractions = [
+            {"map": 0.2, "reduce": 0.0},
+            {"map": 0.7, "reduce": 0.0},
+            {"map": 1.0, "reduce": 0.5},
+        ]
+        for i, fr in enumerate(fractions):
+            ctl.decide(fr, elapsed=20.0 * (i + 1))
+        live = ctl.predictions.records()
+        assert len(live) == 4    # initial + three ticks
+        replayed = intervals_from_audit(ctl.audit.decisions(), table)
+        assert replayed == live
+
+    def test_replay_skips_records_without_progress(self, table):
+        class NoProgress:
+            tick = 0
+            elapsed = 0.0
+            progress = None
+            allocation = 4
+
+        assert intervals_from_audit([NoProgress()], table) == []
