@@ -1,13 +1,16 @@
 """Simkit scaling trajectory: events/sec vs run size, gated against a
 committed baseline.
 
-The workload is a synthetic event storm on the bare :class:`Simulator` —
-self-rescheduling callback chains with deterministic pseudo-random delays,
-plus a steady drip of scheduled-then-cancelled victim events so the heap
-compactor does real work.  No RNG, no job model: this measures the event
-loop itself (heap push/pop, handle bookkeeping, cancellation shedding),
-which is exactly the hot path the ROADMAP's million-task refactor will
-rebuild.
+The workload is a synthetic event storm on the bare :class:`Simulator`,
+shaped like a million-task run: most events come from *completion waves* —
+homogeneous batches pushed through ``schedule_batch`` with a shared payload
+callback, the exact shape of the job manager's wave starts — interleaved
+with self-rescheduling control chains (deterministic pseudo-random delays)
+and a steady drip of scheduled-then-cancelled victim events whose long
+horizons force the heap compactor to do real work.  No RNG, no job model:
+this measures the event loop itself (tuple heap push/pop, batched merges,
+handle pooling, cancellation shedding), which is exactly the hot path the
+ROADMAP's million-task refactor rebuilt.
 
 Each run size dispatches exactly ``size`` events; the digest records the
 best-of-``reps`` events/sec per size, the perf collector's phase split
@@ -19,8 +22,9 @@ fresh numbers are compared size-by-size and any events/sec drop beyond
 ``TOLERANCE`` is recorded in the digest — and *fails the test* when
 ``REPRO_PERF_ENFORCE=1`` (the CI perf-digest job sets it; local runs on
 arbitrary hardware only record).  The trajectory sanity asserts (positive
-throughput everywhere, bounded events/sec decay at the largest size)
-always fire.
+throughput everywhere, bounded events/sec decay at the largest size, and
+the wave-retention floor: the largest size must hold ``WAVE_RETENTION`` of
+the 1e4 row's events/sec) always fire.
 """
 
 import json
@@ -43,18 +47,35 @@ TOLERANCE = 0.15
 #: events/sec — heap ops are O(log n), so a collapse means a real leak.
 MIN_SCALE_RETENTION = 0.20
 
+#: The largest size must also keep this fraction of the *1e4* row — the
+#: flat-or-better retention target of the batched-dispatch refactor.
+WAVE_RETENTION = 0.80
+WAVE_RETENTION_ANCHOR = 10_000
+
 #: Absolute sanity floor: below this the host is unusable for benching.
 MIN_EVENTS_PER_SEC = 10_000
 
 SMOKE_SIZES = (1_000, 10_000, 100_000)
 FULL_SIZES = SMOKE_SIZES + (1_000_000,)
 
-#: Parallel self-rescheduling chains driving the storm.
-CHAINS = 64
+#: Parallel self-rescheduling control chains driving the storm.
+CHAINS = 8
+#: Concurrent completion waves, each re-launching itself on drain...
+WAVES = 2
+#: ...with this many batch-scheduled task completions per launch.
+WAVE_SIZE = 192
 #: One victim event is scheduled every this many chain steps...
-VICTIM_EVERY = 3
-#: ...and cancelled once this many victims are outstanding.
-VICTIM_BACKLOG = 48
+VICTIM_EVERY = 4
+#: ...and cancelled once this many victims are outstanding.  Victim
+#: horizons are long (~200s virtual), so cancelled entries pile up in the
+#: heap until the compactor sheds them.
+VICTIM_BACKLOG = 32
+
+#: Per-task completion offsets inside a wave: a fixed integer mix, so the
+#: storm is identical on every host and run.
+_WAVE_OFFSETS = tuple(
+    1.0 + ((i * 2654435761) & 0xFFFF) / 16384.0 for i in range(WAVE_SIZE)
+)
 
 
 def _sizes() -> tuple:
@@ -67,29 +88,54 @@ def _noop() -> None:
 
 
 def _build_storm(sim: Simulator) -> None:
-    """Arm ``CHAINS`` infinite callback chains with deterministic delays.
+    """Arm the composite storm: completion waves + chains + victim drip.
 
-    Delays come from an integer mix of (chain, step) — no RNG object, so
-    the storm is identical on every host and run."""
+    Delays come from integer mixes of (chain, step) and the wave offset
+    table — no RNG object, so the storm is identical on every host and
+    run."""
     victims = deque()
+    call_after = sim.call_after
+    schedule = sim.schedule
+    batch = sim.schedule_batch
 
     def make_chain(chain: int):
         step = 0
+        base = chain * 2654435761
 
         def fire() -> None:
             nonlocal step
             step += 1
-            mixed = (chain * 2654435761 + step * 40503) & 0xFFFF
-            sim.schedule(0.25 + mixed / 65536.0, fire)
+            mixed = (base + step * 40503) & 0xFFFF
+            call_after(0.25 + mixed / 65536.0, fire)
             if step % VICTIM_EVERY == 0:
-                victims.append(sim.schedule(8.0 + mixed / 8192.0, _noop))
+                victims.append(schedule(200.0 + mixed / 256.0, _noop))
                 if len(victims) > VICTIM_BACKLOG:
                     victims.popleft().cancel()
 
         return fire
 
+    def make_wave():
+        remaining = 0
+        payloads = range(WAVE_SIZE)
+
+        def task_done(_index: int) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if not remaining:
+                launch()
+
+        def launch() -> None:
+            nonlocal remaining
+            remaining = WAVE_SIZE
+            now = sim.now
+            batch([now + off for off in _WAVE_OFFSETS], task_done, payloads)
+
+        return launch
+
     for chain in range(CHAINS):
-        sim.schedule(0.001 * (chain + 1), make_chain(chain))
+        call_after(0.001 * (chain + 1), make_chain(chain))
+    for _ in range(WAVES):
+        make_wave()()
 
 
 def run_storm(size: int) -> dict:
@@ -124,7 +170,7 @@ def run_storm(size: int) -> dict:
 def measure(sizes) -> list:
     rows = []
     for size in sizes:
-        reps = 3 if size <= 100_000 else 1
+        reps = 3 if size <= 100_000 else 2
         best = None
         for _ in range(reps):
             row = run_storm(size)
@@ -142,6 +188,8 @@ def test_sim_scale_trajectory():
         "benchmark": "sim_scale",
         "scale": os.environ.get("REPRO_SCALE", "default"),
         "chains": CHAINS,
+        "waves": WAVES,
+        "wave_size": WAVE_SIZE,
         "tolerance": TOLERANCE,
         "sizes": rows,
     }
@@ -192,6 +240,15 @@ def test_sim_scale_trajectory():
         f"{eps[-1]:,.0f} vs best {max(eps):,.0f} — superlinear slowdown "
         "in the event loop"
     )
+    anchor = {row["events"]: row["events_per_sec"] for row in rows}.get(
+        WAVE_RETENTION_ANCHOR
+    )
+    if anchor and sizes[-1] > WAVE_RETENTION_ANCHOR:
+        assert eps[-1] >= WAVE_RETENTION * anchor, (
+            f"retention floor broken: {sizes[-1]:,} events ran at "
+            f"{eps[-1]:,.0f} events/sec, below {WAVE_RETENTION:.0%} of the "
+            f"{WAVE_RETENTION_ANCHOR:,}-event row ({anchor:,.0f})"
+        )
     if enforce:
         assert not regressions, (
             "events/sec regressed beyond "

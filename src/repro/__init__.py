@@ -68,7 +68,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AmdahlModel",

@@ -66,7 +66,7 @@ class RackFailureInjector:
 
     def install(self) -> None:
         for event in self._events:
-            self._sim.schedule_at(event.at, lambda e=event: self._fire(e))
+            self._sim.call_at(event.at, self._fire, event)
 
     def _pick_machines(self, event: RackFailure) -> Tuple[int, ...]:
         if event.machines:
@@ -121,7 +121,7 @@ class EvictionStormInjector:
         for storm in self._storms:
             boundaries.update((storm.start, storm.end))
         for t in sorted(boundaries):
-            self._sim.schedule_at(t, self._apply)
+            self._sim.call_at(t, self._apply)
 
     def _apply(self) -> None:
         now = self._sim.now
@@ -163,7 +163,7 @@ class TokenShockInjector:
         for shock in self._shocks:
             boundaries.update((shock.start, shock.end))
         for t in sorted(boundaries):
-            self._sim.schedule_at(t, self._apply)
+            self._sim.call_at(t, self._apply)
 
     def _apply(self) -> None:
         now = self._sim.now
@@ -213,7 +213,7 @@ class ProfileDriftInjector:
 
     def install(self) -> None:
         for drift in self._drifts:
-            self._sim.schedule_at(drift.at, lambda d=drift: self._apply(d))
+            self._sim.call_at(drift.at, self._apply, drift)
 
     def _apply(self, drift: ProfileDrift) -> None:
         self._manager.behavior = drifted_profile(self._manager.behavior, drift)

@@ -333,6 +333,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="digest JSON: `perf run --json-out` or a "
              "results/bench_*.json trajectory digest",
     )
+    perf_compare = perf_sub.add_parser(
+        "compare",
+        help="compare two benchmark digests and print per-size "
+             "events/sec deltas",
+    )
+    perf_compare.add_argument(
+        "old",
+        help="baseline digest JSON (e.g. the committed "
+             "results/bench_sim_scale.json)",
+    )
+    perf_compare.add_argument(
+        "new", help="fresh digest JSON to compare against the baseline"
+    )
+    perf_compare.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="flag events/sec drops beyond this fraction and exit "
+             "non-zero (default: the new digest's own tolerance, "
+             "else 0.15)",
+    )
 
     predict = sub.add_parser(
         "predict",
@@ -577,7 +596,7 @@ def _run_job(
                 if disposition == "drop":
                     return
                 if disposition == "delay":
-                    sim.schedule(delay, tick_body)
+                    sim.call_after(delay, tick_body)
                     return
             tick_body()
 
@@ -1027,11 +1046,63 @@ def cmd_perf_report(args, out) -> int:
     return 0
 
 
+def cmd_perf_compare(args, out) -> int:
+    from repro.perf import digest as perf_digest
+
+    docs = []
+    for path in (args.old, args.new):
+        try:
+            docs.append(perf_digest.read_digest(path))
+        except (OSError, perf_digest.DigestError) as exc:
+            out.write(f"error: cannot read perf digest {path}: {exc}\n")
+            return 1
+    old_doc, new_doc = docs
+    old_rows = {int(r["events"]): r for r in old_doc.get("sizes", ())}
+    new_rows = {int(r["events"]): r for r in new_doc.get("sizes", ())}
+    common = sorted(set(old_rows) & set(new_rows))
+    if not common:
+        out.write("error: digests share no run sizes to compare\n")
+        return 1
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(new_doc.get("tolerance", 0.15))
+    out.write(
+        f"{'events':>10s} {'old ev/s':>12s} {'new ev/s':>12s} "
+        f"{'delta':>9s}\n"
+    )
+    regressed = 0
+    for events in common:
+        old_eps = float(old_rows[events]["events_per_sec"])
+        new_eps = float(new_rows[events]["events_per_sec"])
+        ratio = new_eps / old_eps if old_eps > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 - tolerance:
+            regressed += 1
+            flag = "  REGRESSED"
+        out.write(
+            f"{events:>10d} {old_eps:>12,.0f} {new_eps:>12,.0f} "
+            f"{100 * (ratio - 1.0):>+8.1f}%{flag}\n"
+        )
+    for events in sorted(set(old_rows) ^ set(new_rows)):
+        side = "baseline" if events in old_rows else "new digest"
+        out.write(f"{events:>10d} only in {side}; skipped\n")
+    if regressed:
+        out.write(
+            f"{regressed} size(s) regressed beyond "
+            f"{tolerance:.0%} tolerance\n"
+        )
+        return 1
+    out.write(f"ok: no size regressed beyond {tolerance:.0%} tolerance\n")
+    return 0
+
+
 def cmd_perf(args, out) -> int:
     if args.perf_command == "run":
         return cmd_perf_run(args, out)
     if args.perf_command == "report":
         return cmd_perf_report(args, out)
+    if args.perf_command == "compare":
+        return cmd_perf_compare(args, out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 
@@ -1095,7 +1166,7 @@ def cmd_predict(args, out) -> int:
             if disposition == "drop":
                 return
             if disposition == "delay":
-                sim.schedule(delay, tick_body)
+                sim.call_after(delay, tick_body)
                 return
         tick_body()
 

@@ -104,7 +104,7 @@ class BackgroundLoad:
         """Apply surges exactly at their boundaries, not at the next tick."""
         for t in (episode.start, episode.end):
             if t >= self._sim.now:
-                self._sim.schedule_at(t, self._apply_demand)
+                self._sim.call_at(t, self._apply_demand)
 
     @property
     def current_demand(self) -> int:
@@ -124,7 +124,7 @@ class BackgroundLoad:
 
     def _schedule_next(self) -> None:
         delay = float(self._rng.exponential(self._resample_mean))
-        self._sim.schedule(max(delay, 1.0), self._tick)
+        self._sim.call_after(max(delay, 1.0), self._tick)
 
     def _tick(self) -> None:
         noise = float(self._rng.normal(0.0, self._volatility * max(self._mean, 1.0)))

@@ -58,14 +58,14 @@ class FailureInjector:
 
     def _schedule_next(self) -> None:
         delay = float(self._rng.exponential(self._fleet_rate_interval()))
-        self._sim.schedule(max(delay, 1.0), self._fire)
+        self._sim.call_after(max(delay, 1.0), self._fire)
 
     def _fire(self) -> None:
         if self._machines.up_count > 1:
             machine = self._machines.pick_up_machine(self._rng)
             if self._machines.fail(machine):
                 self.failures_injected += 1
-                self._sim.schedule(self._repair, lambda m=machine: self._machines.repair(m))
+                self._sim.call_after(self._repair, self._machines.repair, machine)
         self._schedule_next()
 
     def fail_now(self, machine_id: int, repair_seconds: Optional[float] = None) -> bool:
@@ -84,7 +84,7 @@ class FailureInjector:
         if rec.enabled:
             rec.emit(self._sim.now, "machine.scripted_kill",
                      machine=machine_id, repair_seconds=delay)
-        self._sim.schedule(delay, lambda: self._machines.repair(machine_id))
+        self._sim.call_after(delay, self._machines.repair, machine_id)
         return True
 
     def fail_batch(

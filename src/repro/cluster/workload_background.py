@@ -123,9 +123,11 @@ class _BackgroundJob:
                 math.log(self.config.task_median_seconds), self.config.task_sigma
             )
         )
-        slot: List[Optional[EventHandle]] = [None]
-        handle = self.sim.schedule(duration, lambda: self._task_done(slot[0]))
-        slot[0] = handle
+        # The payload is the handle itself; handle.arg is read at fire time,
+        # so assigning it right after scheduling closes the loop without a
+        # per-task closure (or the old one-element slot list).
+        handle = self.sim.schedule(duration, self._task_done)
+        handle.arg = handle
         self.running.append(handle)
 
     def _task_done(self, handle: Optional[EventHandle]) -> None:
@@ -164,7 +166,7 @@ class WorkloadBackground:
 
     def _schedule_arrival(self) -> None:
         delay = float(self.rng.exponential(self.config.interarrival_seconds))
-        self.sim.schedule(max(delay, 1.0), self._arrive)
+        self.sim.call_after(max(delay, 1.0), self._arrive)
 
     def _arrive(self) -> None:
         self._launch()

@@ -164,10 +164,14 @@ def simulate_job(
     samples: List[Tuple[float, float]] = []
     next_sample = 0.0
 
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    popleft = ready.popleft
+
     def start_tasks() -> None:
         nonlocal seq, total_cpu, now
         while ready and len(running) < allocation:
-            stage, index = ready.popleft()
+            stage, index = popleft()
             sp = stage_profiles[stage]
             cost, fail_u, fail_frac = samplers[stage].draw()
             runtime = float(cost)
@@ -181,13 +185,11 @@ def simulate_job(
             total_cpu += runtime
             if track_spans and stage not in stage_first_start:
                 stage_first_start[stage] = now
-            heapq.heappush(running, (now + runtime, seq, stage, index, will_fail))
+            heappush(running, (now + runtime, seq, stage, index, will_fail))
             seq += 1
 
     def take_samples(up_to: float, fractions_fn: Callable[[], Dict[str, float]]) -> None:
         nonlocal next_sample
-        if indicator is None:
-            return
         while next_sample <= up_to:
             samples.append((next_sample, indicator.progress(fractions_fn())))
             next_sample += sample_dt
@@ -200,11 +202,14 @@ def simulate_job(
             for name, size in stage_sizes.items()
         }
 
+    sampling = indicator is not None
     start_tasks()
     while running:
-        finish_time, _seq, stage, index, will_fail = heapq.heappop(running)
-        # Sample progress at interval boundaries strictly before this event.
-        take_samples(finish_time - 1e-9, fractions)
+        finish_time, _seq, stage, index, will_fail = heappop(running)
+        if sampling:
+            # Sample progress at interval boundaries strictly before this
+            # event.
+            take_samples(finish_time - 1e-9, fractions)
         now = finish_time
         if will_fail:
             failures += 1

@@ -236,7 +236,7 @@ def run_experiment(
                 if disposition == "drop":
                     return
                 if disposition == "delay":
-                    sim.schedule(delay, tick_body)
+                    sim.call_after(delay, tick_body)
                     return
             tick_body()
 
@@ -252,7 +252,7 @@ def run_experiment(
                 manager.trace.deadline = d
                 policy.change_utility(deadline_utility(d))
 
-            sim.schedule_at(at_seconds, apply_change)
+            sim.call_at(at_seconds, apply_change)
 
         manager.trace.metadata["cluster_day_mean_demand"] = float(
             cluster_config.background_mean_demand or 0.0

@@ -17,8 +17,9 @@ Scheduling semantics follow §2.1/§2.4 of the paper:
 
 from __future__ import annotations
 
+import os
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -130,6 +131,7 @@ class JobManager:
         retry_backoff_seconds: float = 5.0,
         retry_backoff_factor: float = 2.0,
         retry_max_attempts: int = 5,
+        block_sampling: Optional[bool] = None,
     ):
         if behavior.graph is not graph and behavior.graph.name != graph.name:
             raise JobManagerError("behavior profile does not match graph")
@@ -170,6 +172,17 @@ class JobManager:
         self._retry_max_attempts = retry_max_attempts
         self._retry_handle = None
         self._last_requested: Optional[int] = None
+        # Opt-in wave *draw* batching: sample a whole same-stage wave of
+        # runtimes via Distribution.sample_n instead of per-task scalar
+        # draws.  This changes the RNG draw order (all runtimes, then all
+        # init times, then per-task failure/placement draws) and therefore
+        # the simulated outcomes — off by default because the repo's
+        # calibrated experiment digests assume the scalar order.  The
+        # event-queue side of wave starts (batched heap insert, no
+        # closures) is always on and byte-identical.
+        if block_sampling is None:
+            block_sampling = os.environ.get("REPRO_JM_BLOCK_SAMPLING", "") not in ("", "0")
+        self._block_sampling = bool(block_sampling)
         self.allocation_deficits = 0
         self.allocation_retries = 0
         self.start_time = self.sim.now
@@ -235,8 +248,7 @@ class JobManager:
             if self._allocation_retry and _retry_attempt < self._retry_max_attempts:
                 delay = self._retry_backoff * self._retry_factor ** _retry_attempt
                 self._retry_handle = self.sim.schedule(
-                    delay,
-                    lambda t=tokens, a=_retry_attempt + 1: self._retry_allocation(t, a),
+                    delay, self._retry_allocation, (tokens, _retry_attempt + 1)
                 )
         return applied
 
@@ -245,9 +257,10 @@ class JobManager:
             self._retry_handle.cancel()
             self._retry_handle = None
 
-    def _retry_allocation(self, tokens: int, attempt: int) -> None:
+    def _retry_allocation(self, request) -> None:
         """Backoff retry of a clamped request; a newer request (different
         target) or job completion makes it a no-op."""
+        tokens, attempt = request
         self._retry_handle = None
         if self.finished or tokens != self._last_requested:
             return
@@ -309,9 +322,9 @@ class JobManager:
         if rec.enabled:
             rec.emitted += 1
             rec.raw((self.sim.now, "task.queued",
-                     {"job": self.name, "stage": task_id[0],
-                      "index": task_id[1],
-                      "attempt": self._attempts.get(task_id, 0)}))
+                     (("job", self.name), ("stage", task_id[0]),
+                      ("index", task_id[1]),
+                      ("attempt", self._attempts.get(task_id, 0)))))
 
     def _update_demand(self) -> None:
         if self.finished:
@@ -366,13 +379,117 @@ class JobManager:
     def _start_ready_tasks(self) -> None:
         grant = self.consumer.grant
         cap = self._grant_cap(grant)
-        started = False
-        while self._ready and len(self._running) < cap:
-            task_id = self._ready.popleft()
-            self._start_task(task_id, grant)
-            started = True
-        if started:
-            self.trace.mark_running(self.sim.now, len(self._running))
+        ready = self._ready
+        room = cap - len(self._running)
+        if not ready or room <= 0:
+            return
+        n = len(ready) if len(ready) < room else room
+        if n == 1:
+            self._start_task(ready.popleft(), grant)
+        else:
+            self._start_wave([ready.popleft() for _ in range(n)], grant)
+        self.trace.mark_running(self.sim.now, len(self._running))
+
+    def _start_wave(self, task_ids: Sequence[TaskId], grant: Grant) -> None:
+        """Start a whole wave of ready tasks with one batched heap insert.
+
+        Per-task RNG draw order matches :meth:`_start_task` exactly — the
+        scalar sample order is part of the repo's determinism contract — so
+        wave starts are byte-identical to the one-at-a-time path.  What the
+        wave batches is the mechanics: one ``schedule_batch`` presorted
+        merge instead of N heappushes, the shared bound ``_finish`` callback
+        with the task as payload instead of N closures, an incrementally
+        tracked guaranteed-token count instead of N O(running) scans, and
+        buffered tuple trace records.  Opting in to ``block_sampling``
+        additionally draws same-stage runtime/init blocks via ``sample_n``
+        (a documented draw-order change).
+        """
+        self._accrue_busy_time()
+        now = self.sim.now
+        rng = self._rng
+        behavior = self.behavior
+        contention = self.cluster.contention_factor()
+        pick = self.cluster.machines.pick_up_machine
+        attempts = self._attempts
+        ready_times = self._ready_times
+        guaranteed_part = grant.guaranteed_part
+        g_count = self._guaranteed_running()
+        running_append = self._running.append
+        base_runtimes = (
+            self._block_sample_runtimes(task_ids) if self._block_sampling else None
+        )
+        rec = _trace.RECORDER
+        emit = rec.enabled
+        name = self.name
+        tasks: List[RunningTask] = []
+        times: List[float] = []
+        for i, task_id in enumerate(task_ids):
+            stage_name = task_id[0]
+            profile = behavior.stage(stage_name)
+            if base_runtimes is None:
+                runtime = profile.runtime.sample(rng) + profile.init.sample(rng)
+            else:
+                runtime = base_runtimes[i]
+            runtime *= contention
+            will_fail = (
+                profile.failure_prob > 0 and rng.random() < profile.failure_prob
+            )
+            if will_fail:
+                runtime *= float(rng.uniform(0.05, 0.95))
+            machine = pick(rng)
+            attempt = attempts.get(task_id, 0)
+            used_spare = g_count >= guaranteed_part
+            if not used_spare:
+                g_count += 1
+            task = RunningTask(
+                task_id=task_id,
+                attempt=attempt,
+                ready_time=ready_times.pop(task_id, now),
+                start_time=now,
+                planned_end=now + runtime,
+                machine=machine,
+                used_spare_token=used_spare,
+                will_fail=will_fail,
+                spare_at_start=used_spare,
+                is_duplicate=False,
+            )
+            tasks.append(task)
+            times.append(now + runtime)
+            running_append(task)
+            if emit:
+                rec.emitted += 1
+                rec.raw((now, "task.start",
+                         (("job", name), ("stage", stage_name),
+                          ("index", task_id[1]), ("attempt", attempt),
+                          ("machine", machine), ("spare", used_spare),
+                          ("duplicate", False))))
+        handles = self.sim.schedule_batch(times, self._finish, tasks, cancelable=True)
+        for task, handle in zip(tasks, handles):
+            task.finish_handle = handle
+        _STARTS.inc(len(tasks))
+
+    def _block_sample_runtimes(self, task_ids: Sequence[TaskId]) -> np.ndarray:
+        """Draw base (runtime + init) durations for a wave, block-sampling
+        each contiguous same-stage run via ``sample_n``.  Single-task runs
+        fall back to the scalar draws so they stay order-identical."""
+        rng = self._rng
+        behavior = self.behavior
+        n = len(task_ids)
+        out = np.empty(n)
+        i = 0
+        while i < n:
+            stage_name = task_ids[i][0]
+            j = i + 1
+            while j < n and task_ids[j][0] == stage_name:
+                j += 1
+            profile = behavior.stage(stage_name)
+            if j - i == 1:
+                out[i] = profile.runtime.sample(rng) + profile.init.sample(rng)
+            else:
+                out[i:j] = profile.runtime.sample_n(rng, j - i)
+                out[i:j] += profile.init.sample_n(rng, j - i)
+            i = j
+        return out
 
     def _start_task(
         self, task_id: TaskId, grant: Grant, *, is_duplicate: bool = False
@@ -411,17 +528,17 @@ class JobManager:
             spare_at_start=used_spare,
             is_duplicate=is_duplicate,
         )
-        task.finish_handle = self.sim.schedule(runtime, lambda t=task: self._finish(t))
+        task.finish_handle = self.sim.schedule(runtime, self._finish, task)
         self._running.append(task)
         _STARTS.inc()
         rec = _trace.RECORDER
         if rec.enabled:
             rec.emitted += 1
             rec.raw((self.sim.now, "task.start",
-                     {"job": self.name, "stage": stage_name,
-                      "index": task_id[1], "attempt": attempt,
-                      "machine": machine, "spare": used_spare,
-                      "duplicate": is_duplicate}))
+                     (("job", self.name), ("stage", stage_name),
+                      ("index", task_id[1]), ("attempt", attempt),
+                      ("machine", machine), ("spare", used_spare),
+                      ("duplicate", is_duplicate))))
 
     def _record(self, task: RunningTask, outcome: str, end_time: float) -> None:
         self.trace.add(
@@ -446,12 +563,12 @@ class JobManager:
             # `start`/`end` make the exporter render this as a Perfetto span.
             rec.emitted += 1
             rec.raw((end_time, "task.end",
-                     {"job": self.name, "stage": task.task_id[0],
-                      "index": task.task_id[1], "attempt": task.attempt,
-                      "outcome": outcome, "machine": task.machine,
-                      "spare": task.spare_at_start,
-                      "duplicate": task.is_duplicate,
-                      "start": task.start_time, "end": end_time}))
+                     (("job", self.name), ("stage", task.task_id[0]),
+                      ("index", task.task_id[1]), ("attempt", task.attempt),
+                      ("outcome", outcome), ("machine", task.machine),
+                      ("spare", task.spare_at_start),
+                      ("duplicate", task.is_duplicate),
+                      ("start", task.start_time), ("end", end_time))))
 
     def _sibling_attempts(self, task: RunningTask) -> List[RunningTask]:
         return [
@@ -461,6 +578,10 @@ class JobManager:
         ]
 
     def _finish(self, task: RunningTask) -> None:
+        # Our finish event just fired, so the handle is back on the
+        # simulator's free list — drop the reference before anything here
+        # can recycle it into a different event.
+        task.finish_handle = None
         self._accrue_busy_time()
         self._running.remove(task)
         if task.will_fail:
@@ -475,6 +596,7 @@ class JobManager:
             for loser in self._sibling_attempts(task):
                 if loser.finish_handle is not None:
                     loser.finish_handle.cancel()
+                    loser.finish_handle = None
                 self._running.remove(loser)
                 self._record(loser, OUTCOME_SUPERSEDED, self.sim.now)
             if task.is_duplicate:
@@ -510,6 +632,7 @@ class JobManager:
         for task in victims:
             if task.finish_handle is not None:
                 task.finish_handle.cancel()
+                task.finish_handle = None
             self._running.remove(task)
             self._record(task, OUTCOME_EVICTED, self.sim.now)
             if not self._sibling_attempts(task):
@@ -525,6 +648,7 @@ class JobManager:
         for task in victims:
             if task.finish_handle is not None:
                 task.finish_handle.cancel()
+                task.finish_handle = None
             self._running.remove(task)
             self._record(task, OUTCOME_FAILED, self.sim.now)
             if not self._sibling_attempts(task):
@@ -624,12 +748,13 @@ def run_to_completion(
     finish within ``max_seconds`` of virtual time (degenerate configs)."""
     deadline = manager.start_time + max_seconds
     while not manager.finished:
-        if manager.sim.peek_time() is None or manager.sim.now >= deadline:
+        next_time = manager.sim.peek_time()
+        if next_time is None or manager.sim.now >= deadline:
             raise JobManagerError(
                 f"job {manager.graph.name!r} did not finish within "
                 f"{max_seconds:.0f}s of virtual time"
             )
-        manager.sim.run(until=min(manager.sim.peek_time(), deadline), max_events=10_000)
+        manager.sim.run(until=min(next_time, deadline), max_events=10_000)
     return manager.trace
 
 

@@ -42,12 +42,16 @@ class SpeculationScan:
 
 def record_scan(ts: float, job: str, scan: SpeculationScan) -> None:
     """Count the scan and, when tracing, emit a ``speculation.scan`` event
-    (only for scans that actually found stragglers, to keep traces lean)."""
-    _SCANS.inc()
-    if scan.stragglers:
-        _STRAGGLERS.inc(scan.stragglers)
-    if scan.launched:
-        _DUPLICATES.inc(scan.launched)
+    (only for scans that actually found stragglers, to keep traces lean).
+
+    Scans fire every check period for every speculating job, so the
+    counters honor the registry's advisory hot-path flag."""
+    if _metrics.REGISTRY.enabled:
+        _SCANS.inc()
+        if scan.stragglers:
+            _STRAGGLERS.inc(scan.stragglers)
+        if scan.launched:
+            _DUPLICATES.inc(scan.launched)
     rec = _trace.RECORDER
     if rec.enabled and scan.stragglers:
         rec.emit(

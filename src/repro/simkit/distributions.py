@@ -182,7 +182,9 @@ class WithOutliers:
         values = sample_n(self.base, rng, n)
         if self.outlier_prob > 0:
             mask = rng.random(n) < self.outlier_prob
-            values = np.where(mask, values * self.outlier_factor, values)
+            # In place on the freshly drawn block: same values as the
+            # np.where form without scaling the non-outliers first.
+            values[mask] *= self.outlier_factor
         return values
 
     def mean(self) -> float:
@@ -217,7 +219,9 @@ class Truncated:
         return min(self.base.sample(rng), self.cap)
 
     def sample_n(self, rng: np.random.Generator, n: int) -> np.ndarray:
-        return np.minimum(sample_n(self.base, rng, n), self.cap)
+        values = sample_n(self.base, rng, n)
+        np.minimum(values, self.cap, out=values)
+        return values
 
     def mean(self) -> float:
         # Monte-Carlo-free approximation: integrate the quantile function.

@@ -4,18 +4,45 @@ The :class:`Simulator` owns a virtual clock and a priority queue of pending
 events.  Components schedule callbacks at absolute or relative virtual times;
 ``run`` dispatches them in time order (FIFO among ties).  All model time in
 this repository is in *seconds* of virtual time.
+
+Queue representation
+--------------------
+Heap entries are plain tuples, never per-event objects:
+
+* ``(time, seq, callback, arg)`` — the fire-and-forget fast path
+  (:meth:`Simulator.call_after` / :meth:`Simulator.call_at` /
+  :meth:`Simulator.schedule_batch`).  Nothing is allocated beyond the tuple
+  itself; ``arg`` is the :data:`_NO_ARG` sentinel when the callback takes no
+  payload.
+* ``(time, seq, None, handle)`` — the cancelable path (:meth:`Simulator.schedule`
+  / :meth:`Simulator.schedule_at`).  ``callback is None`` marks the entry as
+  handle-carrying; the callback and payload are read *from the handle at fire
+  time* so callers may still rebind ``handle.callback`` while queued.
+
+``seq`` is unique, so tuple comparison never reaches elements 2/3 and the
+mixed shapes coexist in one heap.  :class:`EventHandle` objects are pooled:
+when a handle's event fires (or its cancelled entry is shed) the handle goes
+back on a per-simulator free list and the next ``schedule`` reuses it.  The
+discipline this buys speed with: **never cancel a handle after its event has
+fired** — the object may already represent a different event.  Clear your
+reference at fire time instead (the in-repo callers all do).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.perf import instrument as _perf
 from repro.telemetry import metrics as _metrics
 from repro.telemetry import trace as _trace
+
+#: Sentinel meaning "callback takes no payload argument".
+_NO_ARG = object()
+
+#: Free-list bound: handles beyond this are left to the garbage collector.
+_POOL_MAX = 1024
 
 
 class SimulationError(RuntimeError):
@@ -23,31 +50,44 @@ class SimulationError(RuntimeError):
 
 
 class EventHandle:
-    """A cancelable reference to a scheduled event."""
+    """A cancelable reference to a scheduled event.
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_sim", "_queued")
+    Handles are recycled through a per-simulator free list once their event
+    fires or their cancelled entry is dropped from the heap.  Cancelling an
+    already-fired handle is a safe no-op *only while the handle has not been
+    reused* — drop references to handles at fire time rather than keeping
+    them around to cancel later.
+    """
+
+    __slots__ = ("time", "seq", "callback", "arg", "cancelled", "_sim", "_queued")
 
     def __init__(
         self,
         time: float,
         seq: int,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         sim: Optional["Simulator"] = None,
+        arg: object = _NO_ARG,
     ):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.arg = arg
         self.cancelled = False
         self._sim = sim
         self._queued = sim is not None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if not self._queued:
+            # Already fired or already shed from the heap: nothing to do, and
+            # crucially nothing to count.
+            self.cancelled = True
+            return
         if self.cancelled:
             return
         self.cancelled = True
-        if self._queued and self._sim is not None:
-            self._sim._note_cancelled()
+        self._sim._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -67,12 +107,13 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: List[Tuple[float, int, EventHandle]] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple] = []
+        self._seq = 0
         self._dispatched = 0
         self._scheduled = 0
         self._cancelled = 0
         self._compactions = 0
+        self._handle_pool: List[EventHandle] = []
 
     @property
     def now(self) -> float:
@@ -109,22 +150,143 @@ class Simulator:
         """How many times the heap was rebuilt to shed cancelled entries."""
         return self._compactions
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+    # ------------------------------------------------------------------
+    # Fire-and-forget scheduling: tuple entries, no handle, no allocation.
+    # ------------------------------------------------------------------
+
+    def call_at(
+        self, time: float, callback: Callable[..., None], arg: object = _NO_ARG
+    ) -> None:
+        """Schedule ``callback`` at absolute time ``time`` with no cancel
+        handle.  ``arg``, when given, is passed as the callback's single
+        positional argument — the payload replaces a per-event closure."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time:.3f}, now is t={self._now:.3f}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        self._scheduled += 1
+        heapq.heappush(self._queue, (time, seq, callback, arg))
+
+    def call_after(
+        self, delay: float, callback: Callable[..., None], arg: object = _NO_ARG
+    ) -> None:
+        """Schedule ``callback`` after ``delay`` seconds with no cancel handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        self._scheduled += 1
+        heapq.heappush(self._queue, (self._now + delay, seq, callback, arg))
+
+    def schedule_batch(
+        self,
+        times: Sequence[float],
+        callback: Callable[..., None],
+        args: Optional[Sequence[object]] = None,
+        *,
+        cancelable: bool = False,
+    ) -> Optional[List[EventHandle]]:
+        """Schedule one shared ``callback`` at each absolute time in ``times``.
+
+        ``args[i]``, when given, is the payload passed to the ``i``-th firing;
+        tie order among equal times follows position in ``times``.  The batch
+        is merged into the heap in one pass: for batches comparable to the
+        queue size a single ``extend`` + ``heapify`` (O(n+k)) replaces k
+        heappushes (O(k log n)).
+
+        With ``cancelable=True`` every event gets a pooled
+        :class:`EventHandle` and the list of handles is returned (the
+        job-manager wave path cancels individual finishes on eviction);
+        otherwise entries are fire-and-forget tuples and the return is None.
+        """
+        times = list(times)
+        n = len(times)
+        if cancelable and args is None:
+            args = (_NO_ARG,) * n
+        if args is not None and len(args) != n:
+            raise SimulationError(
+                f"schedule_batch: {n} times but {len(args)} args"
+            )
+        if n == 0:
+            return [] if cancelable else None
+        if min(times) < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={min(times):.3f}, now is t={self._now:.3f}"
+            )
+        seq0 = self._seq
+        handles: Optional[List[EventHandle]] = None
+        if cancelable:
+            pool = self._handle_pool
+            handles = []
+            entries = []
+            for s, (t, a) in enumerate(zip(times, args), seq0):
+                if pool:
+                    h = pool.pop()
+                    h.time = t
+                    h.seq = s
+                    h.callback = callback
+                    h.arg = a
+                    h.cancelled = False
+                    h._queued = True
+                else:
+                    h = EventHandle(t, s, callback, self, a)
+                entries.append((t, s, None, h))
+                handles.append(h)
+        elif args is None:
+            noarg = _NO_ARG
+            entries = [(t, s, callback, noarg) for s, t in enumerate(times, seq0)]
+        else:
+            entries = [(t, s, callback, a) for s, (t, a) in enumerate(zip(times, args), seq0)]
+        self._seq = seq0 + n
+        self._scheduled += n
+        q = self._queue
+        if n * 4 < len(q):
+            push = heapq.heappush
+            for entry in entries:
+                push(q, entry)
+        else:
+            q.extend(entries)
+            heapq.heapify(q)
+        return handles
+
+    # ------------------------------------------------------------------
+    # Cancelable scheduling: pooled EventHandle entries.
+    # ------------------------------------------------------------------
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], arg: object = _NO_ARG
+    ) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time:.3f}, now is t={self._now:.3f}"
             )
-        handle = EventHandle(time, next(self._seq), callback, self)
-        heapq.heappush(self._queue, (time, handle.seq, handle))
+        seq = self._seq
+        self._seq = seq + 1
         self._scheduled += 1
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.time = time
+            handle.seq = seq
+            handle.callback = callback
+            handle.arg = arg
+            handle.cancelled = False
+            handle._queued = True
+        else:
+            handle = EventHandle(time, seq, callback, self, arg)
+        heapq.heappush(self._queue, (time, seq, None, handle))
         return handle
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule(
+        self, delay: float, callback: Callable[..., None], arg: object = _NO_ARG
+    ) -> EventHandle:
         """Schedule ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, arg)
 
     def schedule_every(
         self,
@@ -143,6 +305,10 @@ class Simulator:
             raise SimulationError(f"period must be positive, got {period!r}")
         return PeriodicTask(self, period, callback, first_delay=first_delay, until=until)
 
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if empty."""
         self._drop_cancelled()
@@ -151,13 +317,24 @@ class Simulator:
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False if none remain."""
         self._drop_cancelled()
-        if not self._queue:
+        q = self._queue
+        if not q:
             return False
-        time, _seq, handle = heapq.heappop(self._queue)
-        handle._queued = False
-        self._now = time
+        t, _seq, cb, arg = heapq.heappop(q)
+        if cb is None:
+            handle = arg
+            handle._queued = False
+            cb = handle.callback
+            arg = handle.arg
+            pool = self._handle_pool
+            if len(pool) < _POOL_MAX:
+                pool.append(handle)
+        self._now = t
         self._dispatched += 1
-        handle.callback()
+        if arg is _NO_ARG:
+            cb()
+        else:
+            cb(arg)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -191,27 +368,82 @@ class Simulator:
             )
 
     def _run_loop(self, until: Optional[float], max_events: Optional[int]) -> None:
+        # The engine's hot loop.  Everything it touches per event is a local;
+        # cancelled entries are shed inline as they surface at the heap top,
+        # so each dispatch pays at most one cancelled-entry check (there is
+        # no separate _drop_cancelled pre-scan per iteration).  ``fired !=
+        # max_events`` doubles as the no-limit test: with max_events=None the
+        # comparison never becomes equal.  The dispatched counter is settled
+        # once per call (in ``finally`` so a raising callback still counts
+        # its own dispatch).
+        q = self._queue
+        pop = heapq.heappop
+        pool = self._handle_pool
+        pool_max = _POOL_MAX
+        noarg = _NO_ARG
         fired = 0
-        while True:
-            if max_events is not None and fired >= max_events:
-                return
-            self._drop_cancelled()
-            if not self._queue:
-                if until is not None and until > self._now:
+        try:
+            if until is None:
+                while q and fired != max_events:
+                    t, _s, cb, arg = pop(q)
+                    if cb is None:
+                        handle = arg
+                        handle._queued = False
+                        if len(pool) < pool_max:
+                            pool.append(handle)
+                        if handle.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        cb = handle.callback
+                        arg = handle.arg
+                    self._now = t
+                    fired += 1
+                    if arg is noarg:
+                        cb()
+                    else:
+                        cb(arg)
+            else:
+                while q and fired != max_events:
+                    if q[0][0] > until:
+                        self._now = until
+                        return
+                    t, _s, cb, arg = pop(q)
+                    if cb is None:
+                        handle = arg
+                        handle._queued = False
+                        if len(pool) < pool_max:
+                            pool.append(handle)
+                        if handle.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        cb = handle.callback
+                        arg = handle.arg
+                    self._now = t
+                    fired += 1
+                    if arg is noarg:
+                        cb()
+                    else:
+                        cb(arg)
+                if not q and until > self._now:
                     self._now = until
-                return
-            next_time = self._queue[0][0]
-            if until is not None and next_time > until:
-                self._now = until
-                return
-            self.step()
-            fired += 1
+        finally:
+            self._dispatched += fired
 
     def _drop_cancelled(self) -> None:
-        while self._queue and self._queue[0][2].cancelled:
-            _time, _seq, handle = heapq.heappop(self._queue)
+        q = self._queue
+        pool = self._handle_pool
+        while q:
+            head = q[0]
+            if head[2] is not None:
+                return
+            handle = head[3]
+            if not handle.cancelled:
+                return
+            heapq.heappop(q)
             handle._queued = False
             self._cancelled -= 1
+            if len(pool) < _POOL_MAX:
+                pool.append(handle)
 
     def _note_cancelled(self) -> None:
         """A queued handle was cancelled; compact once the heap is mostly
@@ -225,22 +457,32 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries (O(n))."""
+        """Rebuild the heap without cancelled entries (O(n)).
+
+        The rebuild is *in place* (slice assignment): the dispatch loop binds
+        the queue list to a local, so rebinding ``self._queue`` to a fresh
+        list would silently split scheduling from dispatch mid-run.
+        """
+        q = self._queue
+        pool = self._handle_pool
         live = []
-        for entry in self._queue:
-            if entry[2].cancelled:
-                entry[2]._queued = False
+        keep = live.append
+        for entry in q:
+            if entry[2] is None and entry[3].cancelled:
+                handle = entry[3]
+                handle._queued = False
+                if len(pool) < _POOL_MAX:
+                    pool.append(handle)
             else:
-                live.append(entry)
-        shed = len(self._queue)
-        self._queue = live
-        shed -= len(live)
-        heapq.heapify(self._queue)
+                keep(entry)
+        shed = len(q) - len(live)
+        q[:] = live
+        heapq.heapify(q)
         self._cancelled = 0
         self._compactions += 1
         rec = _trace.RECORDER
         if rec.enabled:
-            rec.emit(self._now, "sim.compact", pending=len(self._queue))
+            rec.emit(self._now, "sim.compact", pending=len(q))
         perf = _perf.COLLECTOR
         if perf.enabled:
             perf.count("simkit.compactions")
@@ -305,6 +547,10 @@ class PeriodicTask:
         self._handle = self._sim.schedule(delay, self._fire)
 
     def _fire(self) -> None:
+        # Our handle just fired and may be recycled by anything the callback
+        # schedules — drop the reference *before* the callback runs so a
+        # stop() from inside it cannot cancel an unrelated event.
+        self._handle = None
         if self._stopped:
             return
         self._callback()
@@ -314,8 +560,10 @@ class PeriodicTask:
     def stop(self) -> None:
         """Stop firing.  Safe to call from inside the callback."""
         self._stopped = True
-        if self._handle is not None:
-            self._handle.cancel()
+        handle = self._handle
+        if handle is not None:
+            self._handle = None
+            handle.cancel()
 
 
 def format_time(seconds: float) -> str:

@@ -91,7 +91,11 @@ class TraceRecorder:
             rec.emitted += 1
             rec.raw((ts, "task.start", {"job": job, "stage": stage}))
 
-    Both paths store the identical tuple shape.
+    Both paths store the identical tuple shape.  ``fields`` in a raw tuple
+    may also be a tuple of ``(key, value)`` pairs — cheaper to build than a
+    dict literal on per-event paths — and is turned into the dict the rest
+    of the stack expects only when :meth:`events` / :meth:`iter_events`
+    materialize the buffer at export time.
     """
 
     __slots__ = ("capacity", "emitted", "_buffer", "raw")
@@ -117,11 +121,14 @@ class TraceRecorder:
         return max(0, self.emitted - len(self._buffer))
 
     def events(self) -> List[TraceEvent]:
-        return [TraceEvent(ts, kind, fields) for ts, kind, fields in self._buffer]
+        return [
+            TraceEvent(ts, kind, fields if type(fields) is dict else dict(fields))
+            for ts, kind, fields in self._buffer
+        ]
 
     def iter_events(self) -> Iterator[TraceEvent]:
         for ts, kind, fields in self._buffer:
-            yield TraceEvent(ts, kind, fields)
+            yield TraceEvent(ts, kind, fields if type(fields) is dict else dict(fields))
 
     def clear(self) -> None:
         self._buffer.clear()

@@ -157,6 +157,93 @@ class TestPerfReport:
         assert "error" in text
 
 
+def _scale_digest(path, eps_by_size, tolerance=0.15):
+    from repro.perf.digest import write_digest
+
+    write_digest(path, {
+        "benchmark": "sim_scale",
+        "tolerance": tolerance,
+        "sizes": [
+            {"events": events, "events_per_sec": eps,
+             "wall_seconds": events / eps, "peak_rss_kb": 1000}
+            for events, eps in eps_by_size.items()
+        ],
+    })
+    return path
+
+
+class TestPerfCompare:
+    def test_committed_digest_vs_itself_is_flat(self):
+        committed = (
+            pathlib.Path(__file__).parent.parent
+            / "results" / "bench_sim_scale.json"
+        )
+        code, text = run_cli(
+            "perf", "compare", str(committed), str(committed)
+        )
+        assert code == 0
+        assert "+0.0%" in text
+        assert "ok: no size regressed" in text
+
+    def test_regression_flags_size_and_exits_one(self, tmp_path):
+        old = _scale_digest(
+            tmp_path / "old.json", {1000: 100_000.0, 10_000: 90_000.0}
+        )
+        new = _scale_digest(
+            tmp_path / "new.json", {1000: 40_000.0, 10_000: 95_000.0}
+        )
+        code, text = run_cli("perf", "compare", str(old), str(new))
+        assert code == 1
+        assert "REGRESSED" in text
+        assert "-60.0%" in text
+        assert "1 size(s) regressed" in text
+
+    def test_improvement_reports_positive_delta(self, tmp_path):
+        old = _scale_digest(tmp_path / "old.json", {1000: 100_000.0})
+        new = _scale_digest(tmp_path / "new.json", {1000: 250_000.0})
+        code, text = run_cli("perf", "compare", str(old), str(new))
+        assert code == 0
+        assert "+150.0%" in text
+
+    def test_tolerance_flag_overrides_digest(self, tmp_path):
+        old = _scale_digest(tmp_path / "old.json", {1000: 100_000.0})
+        new = _scale_digest(tmp_path / "new.json", {1000: 90_000.0})
+        code, _text = run_cli("perf", "compare", str(old), str(new))
+        assert code == 0  # 10% drop within the default 15%
+        code, text = run_cli(
+            "perf", "compare", str(old), str(new), "--tolerance", "0.05"
+        )
+        assert code == 1
+        assert "REGRESSED" in text
+
+    def test_extra_sizes_are_noted_and_skipped(self, tmp_path):
+        old = _scale_digest(tmp_path / "old.json", {1000: 100_000.0})
+        new = _scale_digest(
+            tmp_path / "new.json", {1000: 100_000.0, 10_000: 90_000.0}
+        )
+        code, text = run_cli("perf", "compare", str(old), str(new))
+        assert code == 0
+        assert "only in new digest; skipped" in text
+
+    def test_disjoint_sizes_error(self, tmp_path):
+        old = _scale_digest(tmp_path / "old.json", {1000: 100_000.0})
+        new = _scale_digest(tmp_path / "new.json", {2000: 100_000.0})
+        code, text = run_cli("perf", "compare", str(old), str(new))
+        assert code == 1
+        assert "share no run sizes" in text
+
+    def test_missing_file_exits_one(self, tmp_path):
+        committed = (
+            pathlib.Path(__file__).parent.parent
+            / "results" / "bench_sim_scale.json"
+        )
+        code, text = run_cli(
+            "perf", "compare", str(tmp_path / "nope.json"), str(committed)
+        )
+        assert code == 1
+        assert "error" in text
+
+
 class TestPerfUsageErrors:
     def test_perf_without_subcommand_exits_two(self):
         code, _text = run_cli("perf")
