@@ -26,6 +26,9 @@ Layering (bottom to top):
 * :mod:`repro.fleet` — recurring-job fleets: the cross-run profile store,
   online update policies, and the drift-gated model refresh
   (``repro fleet run`` / ``repro fleet stats``).
+* :mod:`repro.market` — the multi-tenant token market: tenant quotas,
+  guarantee-reserving admission, and the batched per-tick spare-capacity
+  auction (``repro market run`` / ``repro market stats``).
 * :mod:`repro.cache` — content-addressed on-disk store for trained
   C(p, a) tables (``REPRO_CACHE_DIR``, ``repro cache stats``).
 * :mod:`repro.parallel` — process-pool fan-out for model builds and
@@ -68,7 +71,7 @@ from repro.telemetry import (
     default_registry,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AmdahlModel",

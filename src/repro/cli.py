@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 import time
 from dataclasses import replace as replace_dc
@@ -98,6 +99,7 @@ EXPERIMENTS = {
     "sec2.4": ("exp_section24", "run"),
     "chaos": ("exp_chaos", "run"),
     "fleet": ("exp_fleet", "run"),
+    "market": ("exp_market", "run"),
     "predict": ("exp_predict", "run"),
 }
 
@@ -269,6 +271,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, metavar="DIR",
         help="profile-store root (default: $REPRO_FLEET_DIR or "
              "~/.cache/repro-jockey/fleet)",
+    )
+
+    market = sub.add_parser(
+        "market",
+        help="run a multi-tenant token market over synthetic or spec'd "
+             "workloads",
+    )
+    market_sub = market.add_subparsers(dest="market_command", required=True)
+    market_run = market_sub.add_parser(
+        "run",
+        help="tick a token market to completion and print per-tenant "
+             "SLO attainment",
+    )
+    market_run.add_argument(
+        "--tenants", type=int, default=4,
+        help="synthetic workload: number of tenants (default: %(default)s)",
+    )
+    market_run.add_argument(
+        "--jobs-per-tenant", type=int, default=25, metavar="N",
+        help="synthetic workload: jobs per tenant (default: %(default)s)",
+    )
+    market_run.add_argument(
+        "--capacity", type=int, default=160,
+        help="cluster capacity in tokens (default: %(default)s)",
+    )
+    market_run.add_argument(
+        "--quota-scale", type=float, default=0.8, metavar="F",
+        help="per-tenant quota as a fraction of a 1/tenants capacity "
+             "share (default: %(default)s)",
+    )
+    market_run.add_argument(
+        "--mode", choices=("pooled", "split"), default="pooled",
+        help="spare-capacity structure: one pooled auction, or per-tenant "
+             "buckets that cannot borrow from each other (default: pooled)",
+    )
+    market_run.add_argument(
+        "--horizon-ticks", type=int, default=40, metavar="N",
+        help="synthetic workload: arrival horizon in ticks "
+             "(default: %(default)s)",
+    )
+    market_run.add_argument(
+        "--tick-seconds", type=float, default=60.0,
+        help="market clearing period (default: %(default)s)",
+    )
+    market_run.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help="market spec file (tenants/jobs/capacity/mode as JSON; "
+             "overrides the synthetic-workload flags above)",
+    )
+    market_run.add_argument("--seed", type=int, default=0)
+    market_run.add_argument(
+        "--digest-out", default=None, metavar="PATH",
+        help="write the run digest (per-tenant stats, prices) as JSON",
+    )
+    market_stats = market_sub.add_parser(
+        "stats",
+        help="summarize a market digest (a `market run --digest-out` file "
+             "or the `experiment market` sweep digest)",
+    )
+    market_stats.add_argument(
+        "--digest", default="results/exp_market.json", metavar="PATH",
+        help="digest file to summarize (default: %(default)s)",
     )
 
     cache = sub.add_parser(
@@ -831,6 +895,120 @@ def cmd_fleet(args, out) -> int:
     return 0
 
 
+def cmd_market(args, out) -> int:
+    from repro.experiments.reporting import ascii_table
+    from repro.market import (
+        MarketConfig,
+        MarketSpecError,
+        TokenMarket,
+        generate_market_workload,
+        load_market_spec,
+    )
+    from repro.telemetry import report as telemetry_report
+
+    if args.market_command == "stats":
+        try:
+            payload = json.loads(
+                pathlib.Path(args.digest).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as exc:
+            out.write(f"error: cannot read market digest: {exc}\n")
+            return 1
+        if isinstance(payload, dict) and payload.get("experiment") == "market":
+            # The `experiment market` sweep digest.
+            out.write(
+                f"market sweep: scale {payload['scale']}, "
+                f"seed {payload['seed']}\n"
+            )
+            out.write(ascii_table(
+                ["mode", "quota scale", "attainment [%]", "rejected"],
+                [
+                    [a["mode"], a["quota_scale"], 100.0 * a["attainment"],
+                     a["rejected"]]
+                    for a in payload["aggregates"]
+                ],
+            ) + "\n")
+            out.write(
+                f"pooled {100 * payload['pooled_attainment']:.1f}% vs "
+                f"split {100 * payload['split_attainment']:.1f}% attainment "
+                "on paired workloads\n"
+            )
+            return 0
+        if isinstance(payload, dict) and "tenants" in payload:
+            # A single-run digest from `market run --digest-out`.
+            rows = telemetry_report.market_rows_from_summary(payload)
+            out.write(ascii_table(
+                [f"Token market ({payload.get('mode', '?')})", "value"],
+                [[label, value] for label, value in rows],
+            ) + "\n")
+            for t in payload["tenants"]:
+                out.write(
+                    f"  {t['name']}: attainment {100 * t['attainment']:.0f}% "
+                    f"({t['met']}/{t['submitted']} met), "
+                    f"{t['rejected']} rejected\n"
+                )
+            return 0
+        out.write(
+            f"error: {args.digest} is not a market digest (expected a "
+            "`market run --digest-out` file or results/exp_market.json)\n"
+        )
+        return 1
+
+    # market run
+    if args.spec:
+        try:
+            tenants, jobs, config = load_market_spec(args.spec)
+        except MarketSpecError as exc:
+            out.write(f"error: cannot load market spec: {exc}\n")
+            out.write(
+                "usage: repro market run --spec SPEC.json — SPEC.json must "
+                "be a JSON market spec (see EXPERIMENTS.md, 'Running a "
+                "token market', for the format and a worked example)\n"
+            )
+            return 2
+    else:
+        tenants, jobs = generate_market_workload(
+            tenants=args.tenants,
+            jobs_per_tenant=args.jobs_per_tenant,
+            capacity=args.capacity,
+            quota_scale=args.quota_scale,
+            tick_seconds=args.tick_seconds,
+            horizon_ticks=args.horizon_ticks,
+            seed=args.seed,
+        )
+        config = MarketConfig(
+            capacity=args.capacity,
+            mode=args.mode,
+            tick_seconds=args.tick_seconds,
+        )
+    # MarketError (e.g. a job referencing an unknown tenant, naming the
+    # offender) propagates to main() as a runtime failure: exit 1.
+    result = TokenMarket(tenants, jobs, config).run()
+    digest = result.to_digest()
+    out.write(
+        f"market: {len(tenants)} tenant(s), {digest['submitted']} job(s), "
+        f"mode {config.mode}, {config.capacity} tokens, "
+        f"{digest['ticks']} tick(s)\n"
+    )
+    for t in digest["tenants"]:
+        out.write(
+            f"  {t['name']}: attainment {100 * t['attainment']:.0f}% "
+            f"({t['met']}/{t['submitted']} met), {t['rejected']} rejected, "
+            f"mean queue delay {t['mean_queue_delay_seconds']:.1f}s\n"
+        )
+    rows = telemetry_report.market_rows_from_summary(digest)
+    out.write(ascii_table(
+        ["Token market", "value"],
+        [[label, value] for label, value in rows],
+    ) + "\n")
+    if args.digest_out:
+        with open(args.digest_out, "w", encoding="utf-8") as fh:
+            json.dump(digest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        out.write(f"  wrote market digest to {args.digest_out}\n")
+    return 0
+
+
 def _perf_events_per_sec(snapshot) -> Tuple[float, float]:
     """(events dispatched, events/sec over the simulate phase) from a
     collector snapshot; (0, 0) when nothing was dispatched."""
@@ -1340,6 +1518,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_list_experiments(out)
         if args.command == "fleet":
             return cmd_fleet(args, out)
+        if args.command == "market":
+            return cmd_market(args, out)
         if args.command == "cache":
             return cmd_cache(args, out)
         if args.command == "perf":

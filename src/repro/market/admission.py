@@ -1,0 +1,139 @@
+"""Admission with per-tenant quota enforcement (market edition).
+
+:class:`repro.core.admission.AdmissionController` asks a C(p, a) table
+whether a *single* cluster slice can absorb one more SLO job.  The
+market version answers the same question for many tenants at once under
+the fluid job model: a queued job's minimum guarantee is the token count
+that finishes its remaining work inside its remaining deadline budget
+(with the controller's slack), and it is admitted the moment that
+guarantee fits under its tenant's quota.
+
+Outcomes per queued job, re-evaluated every tick:
+
+* **admitted** — guarantee reserved, job goes live;
+* **queued** — would fit a quiet quota but not right now (the tenant's
+  live jobs hold too much); it waits, burning deadline budget;
+* **rejected** — can never run: infeasible deadline (needs more tokens
+  than its width), guarantee larger than the whole quota, unknown
+  tenant, or the deadline passed while it waited.
+
+Telemetry counts every transition so the experiment digests can report
+rejection/queueing behavior per tenant.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.market.tenant import JobSpec, MarketError, MarketJob, Tenant
+from repro.telemetry import metrics as _metrics
+
+_ADMITTED = _metrics.REGISTRY.counter(
+    "repro_market_admitted_total", "Jobs admitted to the token market"
+)
+_REJECTED = _metrics.REGISTRY.counter(
+    "repro_market_rejected_total",
+    "Jobs rejected by market admission",
+    labelnames=("reason",),
+)
+_QUEUE_WAITS = _metrics.REGISTRY.counter(
+    "repro_market_queue_waits_total",
+    "Job-ticks spent waiting in tenant admission queues",
+)
+
+
+@dataclass
+class AdmissionStats:
+    """Aggregate admission telemetry for one market run."""
+
+    admitted: int = 0
+    rejected: int = 0
+    queue_waits: int = 0
+    rejected_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def reject(self, reason: str) -> None:
+        self.rejected += 1
+        self.rejected_reasons[reason] = (
+            self.rejected_reasons.get(reason, 0) + 1
+        )
+
+
+class MarketAdmission:
+    """Turns queued job specs into guaranteed reservations."""
+
+    def __init__(self, *, slack: float = 1.2):
+        if slack < 1.0:
+            raise MarketError(f"slack must be >= 1, got {slack!r}")
+        self.slack = slack
+        self.stats = AdmissionStats()
+
+    def minimum_guarantee(
+        self, spec: JobSpec, now: float, remaining: Optional[float] = None
+    ) -> Optional[int]:
+        """Smallest token guarantee that still meets the deadline, or
+        None when no allocation within the job's width can."""
+        budget = spec.absolute_deadline - now
+        if budget <= 0:
+            return None
+        work = spec.work if remaining is None else remaining
+        need = math.ceil(self.slack * work / budget)
+        if need > spec.width:
+            return None
+        return max(1, need)
+
+    def tick(
+        self, tenants: Mapping[str, Tenant], now: float
+    ) -> List[MarketJob]:
+        """Run one admission pass over every tenant's queue.
+
+        Tenants are visited in sorted-name order and each queue FIFO, so
+        the outcome is independent of dict insertion order.  Returns the
+        newly admitted jobs.
+        """
+        admitted: List[MarketJob] = []
+        for name in sorted(tenants):
+            tenant = tenants[name]
+            kept: List[JobSpec] = []
+            in_use = tenant.guaranteed_in_use
+            while tenant.queue:
+                spec = tenant.queue.popleft()
+                minimum = self.minimum_guarantee(spec, now)
+                if minimum is None:
+                    budget = spec.absolute_deadline - now
+                    reason = (
+                        "deadline_passed" if budget <= 0
+                        else "infeasible_width"
+                    )
+                    tenant.reject(reason)
+                    self.stats.reject(reason)
+                    _REJECTED.labels(reason=reason).inc()
+                    continue
+                if minimum > tenant.quota:
+                    tenant.reject("exceeds_quota")
+                    self.stats.reject("exceeds_quota")
+                    _REJECTED.labels(reason="exceeds_quota").inc()
+                    continue
+                if in_use + minimum > tenant.quota:
+                    # Fits a quiet quota, just not now: wait for live
+                    # jobs to release their guarantees.
+                    kept.append(spec)
+                    self.stats.queue_waits += 1
+                    _QUEUE_WAITS.inc()
+                    continue
+                in_use += minimum
+                job = MarketJob(
+                    spec=spec, guarantee=minimum, admitted_at=now
+                )
+                tenant.live[spec.name] = job
+                tenant.admitted += 1
+                tenant.queue_delay_total += job.queue_delay
+                self.stats.admitted += 1
+                _ADMITTED.inc()
+                admitted.append(job)
+            tenant.queue.extend(kept)
+        return admitted
+
+
+__all__ = ["AdmissionStats", "MarketAdmission"]

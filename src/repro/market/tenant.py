@@ -1,0 +1,174 @@
+"""Tenants and the jobs they submit to the token market.
+
+A *tenant* is the unit of isolation: it owns a guaranteed-token quota,
+a FIFO queue of not-yet-admitted jobs, and the set of its live jobs.
+Jobs are deliberately fluid-model lightweight — remaining work drains at
+the granted token rate — so a single market tick over thousands of live
+jobs stays a handful of vectorized array operations rather than a full
+per-task simulation (the per-job C(p, a) machinery stays in
+:mod:`repro.core`; the market reproduces its *allocation* behavior, not
+its task scheduling).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+
+class MarketError(ValueError):
+    """Raised for invalid market configuration or references."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job as submitted to the market.
+
+    ``work`` is in token-seconds: a job holding ``a`` tokens for ``s``
+    seconds drains ``a * s`` of it.  ``width`` caps useful parallelism —
+    tokens beyond it are wasted, so the market never grants them.
+    ``deadline_seconds`` is relative to ``submit_seconds``.
+    """
+
+    name: str
+    tenant: str
+    work: float
+    width: int
+    deadline_seconds: float
+    submit_seconds: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise MarketError("job needs a name")
+        if self.work <= 0:
+            raise MarketError(f"job {self.name!r}: work must be positive")
+        if self.width < 1:
+            raise MarketError(f"job {self.name!r}: width must be >= 1")
+        if self.deadline_seconds <= 0:
+            raise MarketError(
+                f"job {self.name!r}: deadline must be positive"
+            )
+        if self.submit_seconds < 0:
+            raise MarketError(
+                f"job {self.name!r}: negative submit time"
+            )
+
+    @property
+    def absolute_deadline(self) -> float:
+        return self.submit_seconds + self.deadline_seconds
+
+    @property
+    def ideal_duration(self) -> float:
+        """Fastest possible execution: full width from the first second."""
+        return self.work / self.width
+
+
+@dataclass
+class MarketJob:
+    """Live (admitted) state of a job."""
+
+    spec: JobSpec
+    #: Guaranteed tokens reserved at admission (counted against the
+    #: tenant's quota until completion).
+    guarantee: int
+    admitted_at: float
+    remaining: float = field(default=0.0)
+    #: Most recent total grant (guaranteed part + spare part).
+    allocation: int = 0
+    finished_at: Optional[float] = None
+
+    def __post_init__(self):
+        if self.remaining == 0.0:
+            self.remaining = self.spec.work
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def queue_delay(self) -> float:
+        return self.admitted_at - self.spec.submit_seconds
+
+    def demand(self, tick_seconds: float) -> int:
+        """Tokens this job can usefully hold for the next tick."""
+        if self.remaining <= 0:
+            return 0
+        return min(self.spec.width,
+                   max(1, math.ceil(self.remaining / tick_seconds)))
+
+    @property
+    def met_deadline(self) -> bool:
+        return (
+            self.finished_at is not None
+            and self.finished_at <= self.spec.absolute_deadline + 1e-9
+        )
+
+
+@dataclass
+class Tenant:
+    """One paying customer of the cluster."""
+
+    name: str
+    #: Cap on the sum of guaranteed tokens its live jobs may hold.
+    quota: int
+    weight: float = 1.0
+
+    queue: Deque[JobSpec] = field(default_factory=deque)
+    live: Dict[str, MarketJob] = field(default_factory=dict)
+
+    # Lifetime accounting (the admission layer fills these in).
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    met: int = 0
+    #: reason -> count of rejections.
+    rejected_reasons: Dict[str, int] = field(default_factory=dict)
+    queue_delay_total: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise MarketError("tenant needs a name")
+        if self.quota < 1:
+            raise MarketError(f"tenant {self.name!r}: quota must be >= 1")
+        if self.weight <= 0:
+            raise MarketError(
+                f"tenant {self.name!r}: weight must be positive"
+            )
+
+    @property
+    def guaranteed_in_use(self) -> int:
+        return sum(j.guarantee for j in self.live.values())
+
+    def reject(self, reason: str) -> None:
+        self.rejected += 1
+        self.rejected_reasons[reason] = self.rejected_reasons.get(reason, 0) + 1
+
+    def stats(self) -> Dict:
+        """Summary dict (stable key order for digests)."""
+        finished = self.completed + self.rejected
+        return {
+            "name": self.name,
+            "quota": self.quota,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "met": self.met,
+            "attainment": round(self.met / self.submitted, 6)
+            if self.submitted else 1.0,
+            "mean_queue_delay_seconds": round(
+                self.queue_delay_total / self.admitted, 6
+            ) if self.admitted else 0.0,
+            "rejected_reasons": dict(sorted(self.rejected_reasons.items())),
+            "unfinished": self.submitted - finished,
+        }
+
+
+__all__ = ["JobSpec", "MarketError", "MarketJob", "Tenant"]

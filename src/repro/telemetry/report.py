@@ -152,6 +152,32 @@ def fleet_rows_from_summary(summary: Optional[Dict]) -> Tuple[Tuple[str, float],
     )
 
 
+#: Display order and labels for a market run digest
+#: (:meth:`~repro.market.engine.MarketResult.to_digest`).
+_MARKET_SUMMARY_LABELS = (
+    ("capacity", "cluster capacity [tokens]"),
+    ("ticks", "market ticks"),
+    ("submitted", "jobs submitted"),
+    ("admitted", "jobs admitted"),
+    ("rejected", "jobs rejected"),
+    ("met", "deadlines met"),
+    ("attainment", "SLO attainment"),
+    ("mean_queue_delay_seconds", "mean queue delay [s]"),
+)
+
+
+def market_rows_from_summary(summary: Optional[Dict]) -> Tuple[Tuple[str, float], ...]:
+    """Turn a token-market run digest into an ``extra_sections`` row tuple
+    ("Token market" section) for the run report."""
+    if not summary:
+        return ()
+    return tuple(
+        (label, float(summary[key]))
+        for key, label in _MARKET_SUMMARY_LABELS
+        if key in summary
+    )
+
+
 # ----------------------------------------------------------------------
 # Builders
 # ----------------------------------------------------------------------
@@ -981,6 +1007,7 @@ __all__ = [
     "from_audit_and_trace",
     "from_result",
     "from_trace_events",
+    "market_rows_from_summary",
     "render_html",
     "render_text",
     "write",

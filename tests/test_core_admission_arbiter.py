@@ -157,3 +157,170 @@ class TestArbiter:
             arbitrate([arbiter_job("a", 1.0, 10.0)], 0)
         with pytest.raises(ArbiterError):
             arbitrate([arbiter_job("a", 1.0, 10.0)], 10, step=0)
+
+
+# ----------------------------------------------------------------------
+# Market-layer edge cases (the batched arbiter and quota admission)
+# ----------------------------------------------------------------------
+
+
+class TestMarketArbiterEdges:
+    def test_zero_token_budget_prices_best_unserved_bid(self):
+        """Supply 0 with live demand grants nothing; the price reports
+        what the market would bear."""
+        from repro.market.arbiter import Bid, MarketArbiter
+
+        bids = [
+            Bid(job="a", tenant="t", marginals=(5.0, 2.0)),
+            Bid(job="b", tenant="t", marginals=(9.0,)),
+        ]
+        clearing = MarketArbiter().clear(bids, 0)
+        assert clearing.grants == {}
+        assert clearing.price == 9.0
+        assert clearing.demand == 3
+
+    def test_zero_budget_zero_demand(self):
+        from repro.market.arbiter import Bid, MarketArbiter
+
+        clearing = MarketArbiter().clear(
+            [Bid(job="a", tenant="t", marginals=())], 0
+        )
+        assert clearing.grants == {}
+        assert clearing.price == 0.0
+
+    def test_single_job_market(self):
+        """One bidder takes its whole schedule; with supply to spare the
+        price is 0 (nobody competes)."""
+        from repro.market.arbiter import Bid, MarketArbiter
+
+        clearing = MarketArbiter().clear(
+            [Bid(job="only", tenant="t", marginals=(4.0, 3.0, 1.0))], 10
+        )
+        assert clearing.grants == {"only": 3}
+        assert clearing.price == 0.0
+        assert clearing.value == 8.0
+
+    def test_exact_tie_broken_by_job_name(self):
+        """Equal marginal values go to the lexicographically smaller job
+        name, regardless of bid order."""
+        from repro.market.arbiter import Bid, MarketArbiter
+
+        bids = [
+            Bid(job="zeta", tenant="t", marginals=(7.0,)),
+            Bid(job="alpha", tenant="t", marginals=(7.0,)),
+        ]
+        clearing = MarketArbiter().clear(bids, 1)
+        assert clearing.grants == {"alpha": 1}
+        reversed_clearing = MarketArbiter().clear(bids[::-1], 1)
+        assert reversed_clearing.grants == {"alpha": 1}
+
+    def test_tie_across_schedules_grants_prefixes(self):
+        from repro.market.arbiter import Bid, MarketArbiter
+
+        bids = [
+            Bid(job="b", tenant="t", marginals=(7.0, 7.0)),
+            Bid(job="a", tenant="t", marginals=(7.0, 7.0)),
+        ]
+        clearing = MarketArbiter().clear(bids, 3)
+        assert clearing.grants == {"a": 2, "b": 1}
+
+    def test_non_increasing_schedule_enforced(self):
+        from repro.market.arbiter import Bid
+        from repro.market.tenant import MarketError
+
+        with pytest.raises(MarketError, match="non-increasing"):
+            Bid(job="a", tenant="t", marginals=(1.0, 2.0))
+
+
+class TestMarketAdmissionEdges:
+    @staticmethod
+    def _tenant(name="t", quota=10):
+        from repro.market.tenant import Tenant
+
+        return Tenant(name=name, quota=quota)
+
+    @staticmethod
+    def _spec(name, work, width, deadline, tenant="t", submit=0.0):
+        from repro.market.tenant import JobSpec
+
+        return JobSpec(
+            name=name, tenant=tenant, work=work, width=width,
+            deadline_seconds=deadline, submit_seconds=submit,
+        )
+
+    def test_zero_deadline_budget_rejected(self):
+        """A job whose deadline already passed while queued is rejected
+        as deadline_passed, not admitted at any guarantee."""
+        from repro.market.admission import MarketAdmission
+
+        tenant = self._tenant()
+        tenant.queue.append(self._spec("late", 100.0, 4, 60.0))
+        admission = MarketAdmission()
+        admitted = admission.tick({"t": tenant}, now=60.0)
+        assert admitted == []
+        assert tenant.rejected_reasons == {"deadline_passed": 1}
+
+    def test_over_subscribed_admission_is_fifo(self):
+        """When the quota cannot host every queued job at once, earlier
+        submissions win and later ones wait (no reordering)."""
+        from repro.market.admission import MarketAdmission
+
+        tenant = self._tenant(quota=10)
+        # Each needs 6 tokens: only one fits at a time.
+        for i in range(3):
+            tenant.queue.append(
+                self._spec(f"j{i}", work=4320.0, width=8, deadline=720.0)
+            )
+        admission = MarketAdmission(slack=1.0)
+        admitted = admission.tick({"t": tenant}, now=0.0)
+        assert [j.name for j in admitted] == ["j0"]
+        assert [s.name for s in tenant.queue] == ["j1", "j2"]
+        assert admission.stats.queue_waits == 2
+
+    def test_admission_order_deterministic_across_tenants(self):
+        """Tenants are visited in sorted-name order regardless of dict
+        insertion order."""
+        from repro.market.admission import MarketAdmission
+
+        beta = self._tenant("beta")
+        alpha = self._tenant("alpha")
+        beta.queue.append(
+            self._spec("jb", 60.0, 4, 600.0, tenant="beta")
+        )
+        alpha.queue.append(
+            self._spec("ja", 60.0, 4, 600.0, tenant="alpha")
+        )
+        admission = MarketAdmission()
+        admitted = admission.tick({"beta": beta, "alpha": alpha}, now=0.0)
+        assert [j.name for j in admitted] == ["ja", "jb"]
+
+    def test_guarantee_wider_than_quota_rejected_outright(self):
+        from repro.market.admission import MarketAdmission
+
+        tenant = self._tenant(quota=2)
+        tenant.queue.append(
+            self._spec("big", work=3600.0, width=8, deadline=720.0)
+        )
+        admission = MarketAdmission(slack=1.0)
+        assert admission.tick({"t": tenant}, now=0.0) == []
+        assert tenant.rejected_reasons == {"exceeds_quota": 1}
+
+    def test_single_job_market_runs_to_completion(self):
+        """The smallest possible market: one tenant, one job, enough
+        tokens — the job is admitted, drains, and meets its deadline."""
+        from repro.market.engine import MarketConfig, TokenMarket
+        from repro.market.tenant import JobSpec, Tenant
+
+        tenants = [Tenant(name="t", quota=8)]
+        jobs = [JobSpec(
+            name="solo", tenant="t", work=600.0, width=8,
+            deadline_seconds=600.0,
+        )]
+        result = TokenMarket(
+            tenants, jobs, MarketConfig(capacity=8, tick_seconds=60.0)
+        ).run()
+        assert result.submitted == 1
+        assert result.met == 1
+        assert result.attainment == 1.0
+        assert len(result.completions) == 1
+        assert result.completions[0]["met"] is True

@@ -1,0 +1,160 @@
+"""CLI coverage for ``repro market run|stats``.
+
+Exit-code contract: malformed market specs are usage errors (2, with a
+pointer at the spec format); a well-formed spec whose jobs reference a
+tenant that does not exist is a runtime failure (1) naming the offender;
+successful runs and stats exit 0.
+"""
+
+import json
+import pathlib
+
+from repro.cli import main
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "market_help.txt"
+
+
+def run_cli(*argv):
+    import io
+
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def write_spec(tmp_path, payload) -> pathlib.Path:
+    spec = tmp_path / "market.json"
+    spec.write_text(json.dumps(payload), encoding="utf-8")
+    return spec
+
+
+GOOD_SPEC = {
+    "capacity": 40,
+    "mode": "pooled",
+    "tenants": [
+        {"name": "acme", "quota": 20},
+        {"name": "rival", "quota": 20},
+    ],
+    "jobs": [
+        {"name": "etl", "tenant": "acme", "work": 6000.0,
+         "width": 10, "deadline_seconds": 1800.0},
+        {"name": "scan", "tenant": "rival", "work": 3000.0,
+         "width": 8, "deadline_seconds": 1200.0,
+         "submit_seconds": 60.0},
+    ],
+}
+
+
+class TestMarketRun:
+    def test_synthetic_run_prints_tenants_and_section(self, tmp_path):
+        digest = tmp_path / "digest.json"
+        code, text = run_cli(
+            "market", "run", "--tenants", "2", "--jobs-per-tenant", "5",
+            "--capacity", "40", "--seed", "3",
+            "--digest-out", str(digest),
+        )
+        assert code == 0
+        assert "Token market" in text
+        assert "t00:" in text and "t01:" in text
+        payload = json.loads(digest.read_text(encoding="utf-8"))
+        assert payload["submitted"] == 10
+        assert [t["name"] for t in payload["tenants"]] == ["t00", "t01"]
+
+    def test_spec_run(self, tmp_path):
+        spec = write_spec(tmp_path, GOOD_SPEC)
+        code, text = run_cli("market", "run", "--spec", str(spec))
+        assert code == 0
+        assert "acme" in text and "rival" in text
+        assert "2 job(s)" in text
+
+    def test_spec_with_envelope(self, tmp_path):
+        spec = write_spec(
+            tmp_path, {"format_version": 1, "market": GOOD_SPEC}
+        )
+        code, _text = run_cli("market", "run", "--spec", str(spec))
+        assert code == 0
+
+    def test_malformed_spec_exits_two_with_usage(self, tmp_path):
+        spec = write_spec(tmp_path, {"bogus": 1})
+        code, text = run_cli("market", "run", "--spec", str(spec))
+        assert code == 2
+        assert "usage:" in text
+        assert "bogus" in text
+
+    def test_invalid_json_exits_two(self, tmp_path):
+        spec = tmp_path / "market.json"
+        spec.write_text("{not json", encoding="utf-8")
+        code, text = run_cli("market", "run", "--spec", str(spec))
+        assert code == 2
+        assert "not valid JSON" in text
+
+    def test_unreadable_spec_exits_two(self, tmp_path):
+        code, text = run_cli(
+            "market", "run", "--spec", str(tmp_path / "ghost.json")
+        )
+        assert code == 2
+        assert "cannot load market spec" in text
+
+    def test_unknown_tenant_exits_one_naming_offender(self, tmp_path):
+        payload = dict(GOOD_SPEC)
+        payload["jobs"] = [
+            {"name": "orphan", "tenant": "ghost", "work": 100.0,
+             "width": 4, "deadline_seconds": 600.0},
+        ]
+        spec = write_spec(tmp_path, payload)
+        code, text = run_cli("market", "run", "--spec", str(spec))
+        assert code == 1
+        assert "error" in text
+        assert "orphan" in text and "ghost" in text
+
+    def test_bad_mode_exits_two(self):
+        code, _text = run_cli("market", "run", "--mode", "fractal")
+        assert code == 2
+
+    def test_help_matches_golden(self, monkeypatch, capsys):
+        monkeypatch.setenv("COLUMNS", "80")
+        code, _text = run_cli("market", "--help")
+        assert code == 0
+        got = capsys.readouterr().out
+        assert got == GOLDEN.read_text(encoding="utf-8"), (
+            "help text drifted; regenerate tests/golden/market_help.txt "
+            "(COLUMNS=80) if the change is intentional"
+        )
+
+
+class TestMarketStats:
+    def test_stats_on_run_digest(self, tmp_path):
+        digest = tmp_path / "digest.json"
+        code, _text = run_cli(
+            "market", "run", "--tenants", "2", "--jobs-per-tenant", "4",
+            "--capacity", "30", "--digest-out", str(digest),
+        )
+        assert code == 0
+        code, text = run_cli("market", "stats", "--digest", str(digest))
+        assert code == 0
+        assert "Token market (pooled)" in text
+        assert "t00:" in text
+
+    def test_stats_on_sweep_digest(self, tmp_path, monkeypatch):
+        from repro.experiments import SMOKE, exp_market
+
+        monkeypatch.chdir(tmp_path)
+        exp_market.run(SMOKE, seed=0)
+        code, text = run_cli("market", "stats")
+        assert code == 0
+        assert "market sweep" in text
+        assert "pooled" in text and "split" in text
+
+    def test_missing_digest_exits_one(self, tmp_path):
+        code, text = run_cli(
+            "market", "stats", "--digest", str(tmp_path / "nope.json")
+        )
+        assert code == 1
+        assert "cannot read market digest" in text
+
+    def test_non_market_digest_exits_one(self, tmp_path):
+        other = tmp_path / "other.json"
+        other.write_text('{"hello": 1}', encoding="utf-8")
+        code, text = run_cli("market", "stats", "--digest", str(other))
+        assert code == 1
+        assert "not a market digest" in text

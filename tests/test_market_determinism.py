@@ -1,0 +1,112 @@
+"""Determinism and acceptance properties of the ``exp_market`` sweep.
+
+The digest must be byte-identical at any worker count and across repeat
+runs on the same seed, and the sweep must land the ISSUE's acceptance
+shape: split token buckets attain strictly less than the pooled market
+on paired workloads.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.experiments import SMOKE
+from repro.experiments import exp_market
+
+
+def _sweep_digest(tmp, jobs: str) -> bytes:
+    old_jobs = os.environ.get("REPRO_JOBS")
+    old_cwd = os.getcwd()
+    os.environ["REPRO_JOBS"] = jobs
+    os.chdir(tmp)
+    try:
+        exp_market.run(SMOKE, seed=0)
+        return (tmp / exp_market.DIGEST_PATH).read_bytes()
+    finally:
+        os.chdir(old_cwd)
+        if old_jobs is None:
+            os.environ.pop("REPRO_JOBS", None)
+        else:
+            os.environ["REPRO_JOBS"] = old_jobs
+
+
+@pytest.fixture(scope="module")
+def digest_serial(tmp_path_factory):
+    return _sweep_digest(tmp_path_factory.mktemp("market_serial"), jobs="1")
+
+
+class TestSweepDigest:
+    def test_digest_identical_across_worker_counts(
+        self, digest_serial, tmp_path_factory
+    ):
+        parallel = _sweep_digest(
+            tmp_path_factory.mktemp("market_parallel"), jobs="2"
+        )
+        assert (
+            hashlib.sha256(digest_serial).hexdigest()
+            == hashlib.sha256(parallel).hexdigest()
+        )
+
+    def test_digest_identical_across_repeat_runs(
+        self, digest_serial, tmp_path_factory
+    ):
+        again = _sweep_digest(
+            tmp_path_factory.mktemp("market_again"), jobs="1"
+        )
+        assert again == digest_serial
+
+    def test_split_attains_strictly_less_than_pooled(self, digest_serial):
+        """The ISSUE's acceptance inequality on paired seeds."""
+        digest = json.loads(digest_serial.decode("utf-8"))
+        assert digest["split_attainment"] < digest["pooled_attainment"]
+        # And per paired workload, splitting never helps.
+        for pair in digest["pairs"]:
+            assert pair["split_attainment"] <= pair["pooled_attainment"]
+
+    def test_pairs_share_workloads(self, digest_serial):
+        """Pooled and split cells submit identical job populations."""
+        digest = json.loads(digest_serial.decode("utf-8"))
+        by_key = {
+            (u["mode"], u["quota_scale"], u["rep"]): u
+            for u in digest["runs"]
+        }
+        for qs in digest["quota_scales"]:
+            for rep in range(digest["shape"]["reps"]):
+                pooled = by_key[("pooled", qs, rep)]
+                split = by_key[("split", qs, rep)]
+                assert pooled["submitted"] == split["submitted"]
+                assert (
+                    [t["name"] for t in pooled["tenants"]]
+                    == [t["name"] for t in split["tenants"]]
+                )
+                assert (
+                    [t["quota"] for t in pooled["tenants"]]
+                    == [t["quota"] for t in split["tenants"]]
+                )
+
+    def test_digest_records_every_run(self, digest_serial):
+        digest = json.loads(digest_serial.decode("utf-8"))
+        assert digest["experiment"] == "market"
+        shape = digest["shape"]
+        expected = 2 * len(digest["quota_scales"]) * shape["reps"]
+        assert len(digest["runs"]) == expected
+        assert len(digest["aggregates"]) == 2 * len(digest["quota_scales"])
+        for unit in digest["runs"]:
+            assert (
+                unit["submitted"]
+                == shape["tenants"] * shape["jobs_per_tenant"]
+            )
+
+    def test_tighter_quotas_cost_attainment(self, digest_serial):
+        """Quota sizing matters: the fully-tiled quota (1.0) beats the
+        tightest sizing swept, in both market structures."""
+        digest = json.loads(digest_serial.decode("utf-8"))
+        for mode in ("pooled", "split"):
+            by_qs = {
+                a["quota_scale"]: a["attainment"]
+                for a in digest["aggregates"] if a["mode"] == mode
+            }
+            scales = sorted(by_qs)
+            assert by_qs[scales[0]] <= by_qs[scales[-1]], mode
