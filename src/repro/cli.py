@@ -460,6 +460,131 @@ def build_parser() -> argparse.ArgumentParser:
              "pinball loss, rolling-window timeline, verdict) as JSON",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the live cluster service (HTTP arbiter)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: 0 = pick a free ephemeral port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--capacity", type=int, default=40,
+        help="guaranteed-token capacity of the slice (default: 40, "
+             "sized for a small host; raise it with a bigger fleet)",
+    )
+    serve.add_argument(
+        "--tick-seconds", type=float, default=60.0,
+        help="control period in virtual seconds (default: 60)",
+    )
+    serve.add_argument(
+        "--time-scale", type=float, default=0.02,
+        help="wall seconds per virtual second; 0.02 replays trained "
+             "profiles 50x faster than recorded (default: 0.02)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0,
+        help="wall seconds of worker silence before its leases are "
+             "re-queued (default: 5)",
+    )
+    serve.add_argument(
+        "--tenant", action="append", default=None, metavar="NAME=QUOTA",
+        help="add a tenant with a guaranteed-token quota (repeatable; "
+             "default: one 'default' tenant owning the whole capacity)",
+    )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC.json",
+        help="apply the spec's control-plane faults (dropped ticks, "
+             "predictor blackouts) to the live control loop",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--cpa-reps", type=int, default=2,
+        help="simulations per allocation when lazily training a template "
+             "server-side (default: 2; bump for tighter tables)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (lets scripts "
+             "discover an ephemeral port)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run a worker against a live service"
+    )
+    worker.add_argument("--url", required=True, help="arbiter base URL")
+    worker.add_argument("--name", default="worker")
+    worker.add_argument(
+        "--slots", type=int, default=20,
+        help="concurrent task slots this worker offers (default: 20, "
+             "so two workers cover the default service capacity)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one job to a live service and wait"
+    )
+    submit.add_argument("--url", required=True, help="arbiter base URL")
+    submit.add_argument("--deadline-minutes", type=float, required=True)
+    group = submit.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--template", default=None,
+        help="server-side template: A-G (Table 2) or 'mapreduce'",
+    )
+    group.add_argument(
+        "--bundle", default=None, metavar="PATH",
+        help="upload a local `repro train` bundle with the submission",
+    )
+    group.add_argument(
+        "--command", dest="cmd_argv", default=None,
+        nargs=argparse.REMAINDER, metavar="ARGV",
+        help="run a real subprocess per task (everything after --command)",
+    )
+    submit.add_argument(
+        "--tasks", type=int, default=1,
+        help="task count for --command jobs (default: 1)",
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--policy", choices=POLICY_CHOICES, default="jockey")
+    submit.add_argument("--name", default=None, help="job display name")
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return right after admission instead of polling to completion",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="wall seconds to wait for completion (default: 600)",
+    )
+    submit.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="fetch the finished job's run report (HTML for .html/.htm, "
+             "text otherwise)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen", help="replay a seeded open-loop workload at a service"
+    )
+    loadgen.add_argument("--url", required=True, help="arbiter base URL")
+    loadgen.add_argument("--jobs", type=int, default=20)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--template", action="append", default=None,
+        help="template pool to draw from (repeatable; default: mapreduce)",
+    )
+    loadgen.add_argument("--tenant", default="default")
+    loadgen.add_argument("--policy", choices=POLICY_CHOICES, default="jockey")
+    loadgen.add_argument(
+        "--mean-interarrival", type=float, default=180.0,
+        help="mean arrival gap in virtual seconds (default: 180)",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="wall-clock budget for the whole campaign (default: 600)",
+    )
+    loadgen.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the attainment digest JSON here",
+    )
+
     trace = sub.add_parser("trace", help="inspect a recorded trace file")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     summarize = trace_sub.add_parser(
@@ -589,13 +714,25 @@ def cmd_run(args, out) -> int:
     policy = _build_policy(args.policy, table, indicator, profile, deadline)
 
     server = None
+    shutdown = None
     if args.serve_metrics is not None:
+        from repro.service.lifecycle import GracefulShutdown
         from repro.telemetry.exposition import MetricsServer
 
         server = MetricsServer(port=args.serve_metrics)
-        port = server.start()
-        out.write(f"serving metrics at http://127.0.0.1:{port}/metrics\n")
+        server.start()
+        out.write(f"serving metrics at {server.url}/metrics\n")
+        # Same graceful path as `repro serve`: SIGINT/SIGTERM request a
+        # clean stop (run finishes, server shuts down and joins its
+        # thread) instead of killing the scrape endpoint mid-response.
+        shutdown = GracefulShutdown()
     try:
+        if shutdown is not None:
+            with shutdown:
+                return _run_job(
+                    args, out, graph, profile, table, policy, deadline,
+                    chaos_spec=chaos_spec,
+                )
         return _run_job(
             args, out, graph, profile, table, policy, deadline,
             chaos_spec=chaos_spec,
@@ -1496,6 +1633,227 @@ def cmd_report(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    from repro.service.lifecycle import GracefulShutdown
+    from repro.service.models import TemplateModelStore
+    from repro.service.server import ClusterService, ServiceConfig, ServiceError
+
+    tenants = ()
+    if args.tenant:
+        pairs = []
+        for item in args.tenant:
+            name, sep, quota = item.partition("=")
+            if not sep or not name:
+                out.write(f"error: bad --tenant {item!r} (want NAME=QUOTA)\n")
+                return 2
+            try:
+                pairs.append((name, int(quota)))
+            except ValueError:
+                out.write(f"error: bad --tenant quota {quota!r} for "
+                          f"{name!r} (want an integer)\n")
+                return 2
+        tenants = tuple(pairs)
+    control_faults = None
+    if args.chaos:
+        try:
+            spec = persist.load_chaos_spec(args.chaos)
+        except (OSError, persist.PersistError) as exc:
+            out.write(f"error: cannot load chaos spec: {exc}\n")
+            return 2
+        control_faults = spec.effective().control_faults
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            capacity_tokens=args.capacity,
+            tick_seconds=args.tick_seconds,
+            time_scale=args.time_scale,
+            heartbeat_timeout=args.heartbeat_timeout,
+            seed=args.seed,
+            tenants=tenants,
+            control_faults=control_faults,
+        )
+    except ServiceError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    store = TemplateModelStore(seed=args.seed, cpa_reps=args.cpa_reps)
+    service = ClusterService(config, store=store)
+    port = service.start()
+    out.write(f"live cluster service listening at {service.url}\n")
+    out.write(f"  capacity {config.capacity_tokens} tokens | "
+              f"tick {config.tick_seconds:.0f}s virtual | "
+              f"1 virtual minute = {60 * config.time_scale:.2f}s wall\n")
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{port}\n")
+    try:
+        with GracefulShutdown() as shutdown:
+            while not shutdown.wait(0.25):
+                if service.shutdown_requested:
+                    break
+    except KeyboardInterrupt:
+        pass
+    out.write("draining live jobs...\n")
+    service.stop(drain=True, timeout=30.0)
+    out.write("service stopped\n")
+    return 0
+
+
+def cmd_worker(args, out) -> int:
+    from repro.service.lifecycle import GracefulShutdown
+    from repro.service.worker import ServiceWorker, WorkerConfig
+
+    try:
+        config = WorkerConfig(url=args.url, name=args.name, slots=args.slots)
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    worker = ServiceWorker(config)
+    out.write(f"worker {args.name!r} joining {args.url} "
+              f"({args.slots} slots)\n")
+    try:
+        with GracefulShutdown() as shutdown:
+            worker.start()
+            while not shutdown.wait(0.25):
+                if not worker.alive:
+                    break
+    except KeyboardInterrupt:
+        pass
+    worker.stop()
+    if worker.error:
+        out.write(f"error: {worker.error}\n")
+        return 1
+    out.write(f"worker exiting: {worker.tasks_done} tasks ok, "
+              f"{worker.tasks_failed} failed\n")
+    return 0
+
+
+def _print_prediction(reply, deadline_minutes, out) -> None:
+    prediction = reply.get("prediction")
+    if not prediction:
+        return
+    median_min = prediction["median"] / 60.0
+    line = f"  predicted completion: p50 {median_min:.1f} min"
+    for band in prediction.get("bands", ()):
+        if abs(band["level"] - 0.8) < 1e-9:
+            line += (f", 80% interval [{band['lo'] / 60.0:.1f}, "
+                     f"{band['hi'] / 60.0:.1f}] min")
+    out.write(line + f" vs {deadline_minutes:.1f} min deadline\n")
+
+
+def cmd_submit(args, out) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    bundle_payload = None
+    command_payload = None
+    if args.bundle:
+        try:
+            with open(args.bundle, "r", encoding="utf-8") as fh:
+                bundle_payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            out.write(f"error: cannot read bundle {args.bundle!r}: {exc}\n")
+            return 2
+    if args.cmd_argv is not None:
+        argv = [a for a in args.cmd_argv if a != "--"]
+        if not argv:
+            out.write("error: --command needs a program to run "
+                      "(everything after --command is the argv)\n")
+            return 2
+        command_payload = {"argv": argv, "tasks": args.tasks}
+    client = ServiceClient(args.url)
+    try:
+        reply = client.submit(
+            deadline_minutes=args.deadline_minutes,
+            template=args.template,
+            bundle=bundle_payload,
+            command=command_payload,
+            tenant=args.tenant,
+            policy=args.policy,
+            name=args.name,
+        )
+    except ServiceClientError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    job_id = reply["job_id"]
+    out.write(f"job {job_id}: {reply['status']}")
+    if reply.get("guarantee") is not None:
+        out.write(f" (guarantee {reply['guarantee']} tokens)")
+    out.write("\n")
+    _print_prediction(reply, args.deadline_minutes, out)
+    if reply["status"] == "rejected":
+        out.write(f"error: submission rejected: "
+                  f"{reply.get('reason', 'unknown')}\n")
+        return 1
+    if args.no_wait:
+        return 0
+    try:
+        final = client.wait(job_id, timeout=args.timeout)
+    except ServiceClientError as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    status = final["status"]
+    if status == "completed":
+        met = bool(final.get("met_deadline"))
+        out.write(f"job {job_id} completed in "
+                  f"{final['duration_seconds'] / 60.0:.1f} min "
+                  f"({'met' if met else 'MISSED'} the "
+                  f"{args.deadline_minutes:.1f} min deadline)\n")
+    else:
+        out.write(f"error: job {job_id} {status}: "
+                  f"{final.get('reason', 'unknown')}\n")
+        return 1
+    if args.report_out:
+        fmt = ("html" if args.report_out.endswith((".html", ".htm"))
+               else "text")
+        try:
+            text = client.report(job_id, fmt)
+        except ServiceClientError as exc:
+            out.write(f"error: cannot fetch report: {exc}\n")
+            return 1
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        out.write(f"wrote {fmt} report to {args.report_out}\n")
+    return 0 if final.get("met_deadline") else 1
+
+
+def cmd_loadgen(args, out) -> int:
+    from repro.service.client import ServiceClientError
+    from repro.service.loadgen import LoadgenConfig, LoadgenError, run_loadgen
+
+    templates = tuple(args.template) if args.template else ("mapreduce",)
+    try:
+        config = LoadgenConfig(
+            jobs=args.jobs,
+            seed=args.seed,
+            templates=templates,
+            tenant=args.tenant,
+            policy=args.policy,
+            mean_interarrival=args.mean_interarrival,
+            timeout=args.timeout,
+        )
+    except LoadgenError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    try:
+        digest = run_loadgen(
+            args.url, config, out=args.out,
+            progress=lambda msg: out.write(f"  {msg}\n"),
+        )
+    except (LoadgenError, ServiceClientError) as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    out.write(
+        f"loadgen done: {digest['completed']}/{digest['jobs']} completed, "
+        f"{digest['met_deadline']} met deadline "
+        f"(attainment {digest['attainment']:.2f}), "
+        f"{digest['rejected']} rejected, {digest['failed']} failed "
+        f"in {digest['wall_seconds']:.1f}s wall\n"
+    )
+    if args.out:
+        out.write(f"wrote attainment digest to {args.out}\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point.  Returns 2 for argument errors (argparse usage
     failures), 1 for runtime failures, the command's code otherwise."""
@@ -1526,6 +1884,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return cmd_perf(args, out)
         if args.command == "predict":
             return cmd_predict(args, out)
+        if args.command == "serve":
+            return cmd_serve(args, out)
+        if args.command == "worker":
+            return cmd_worker(args, out)
+        if args.command == "submit":
+            return cmd_submit(args, out)
+        if args.command == "loadgen":
+            return cmd_loadgen(args, out)
         if args.command == "trace":
             return cmd_trace(args, out)
         if args.command == "report":

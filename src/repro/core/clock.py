@@ -1,0 +1,113 @@
+"""Clock abstraction: one control loop, two substrates.
+
+Everything in the Jockey control loop is expressed in *virtual seconds* —
+the time base of the job profiles, deadlines, and C(p, a) tables.  In
+batch simulation virtual time is :attr:`Simulator.now`; in live service
+mode it is wall time divided by a compression factor, so a profile whose
+tasks take tens of virtual seconds can be replayed against real worker
+processes in milliseconds without retraining the model.
+
+* :class:`SimClock` — virtual time read straight from a simulator.
+* :class:`WallClock` — monotonic wall time mapped into virtual seconds
+  through ``time_scale`` (wall seconds per virtual second).
+* :class:`ManualClock` — a settable clock for deterministic unit tests.
+
+:meth:`JockeyController.attach_clock <repro.core.control.JockeyController>`
+accepts any of these, which is how the controller ticks from wall-clock
+in the live service instead of simkit time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Protocol, runtime_checkable
+
+
+class ClockError(ValueError):
+    """Raised for invalid clock configuration."""
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Source of virtual-time ``now`` readings (monotonic, seconds)."""
+
+    def now(self) -> float: ...
+
+
+class SimClock:
+    """Virtual time read from a :class:`~repro.simkit.events.Simulator`
+    (or anything with a ``now`` attribute)."""
+
+    def __init__(self, sim):
+        self._sim = sim
+
+    def now(self) -> float:
+        return float(self._sim.now)
+
+
+class WallClock:
+    """Monotonic wall clock mapped into virtual seconds.
+
+    ``time_scale`` is wall seconds per virtual second: 1.0 runs in real
+    time, 0.01 replays a profile 100x faster than it was recorded.  The
+    epoch is captured at construction, so a fresh ``WallClock`` reads
+    ~0.0 and only ever moves forward.
+    """
+
+    def __init__(self, *, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise ClockError(f"time_scale must be positive, got {time_scale!r}")
+        self.time_scale = float(time_scale)
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return (time.monotonic() - self._epoch) / self.time_scale
+
+    def to_wall(self, virtual_seconds: float) -> float:
+        """Wall seconds corresponding to a virtual duration."""
+        return virtual_seconds * self.time_scale
+
+    def to_virtual(self, wall_seconds: float) -> float:
+        """Virtual seconds corresponding to a wall duration."""
+        return wall_seconds / self.time_scale
+
+    def sleep(self, virtual_seconds: float) -> None:
+        """Block for a virtual duration (scaled to wall time)."""
+        if virtual_seconds > 0:
+            time.sleep(self.to_wall(virtual_seconds))
+
+
+class ManualClock:
+    """A clock tests drive by hand."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ClockError("manual clocks only move forward")
+        self._now += seconds
+        return self._now
+
+    def set(self, now: float) -> None:
+        if now < self._now:
+            raise ClockError("manual clocks only move forward")
+        self._now = float(now)
+
+
+def ensure_clock(clock: Optional[Clock]) -> Clock:
+    """``clock`` itself, or a real-time :class:`WallClock` when None."""
+    return clock if clock is not None else WallClock()
+
+
+__all__ = [
+    "Clock",
+    "ClockError",
+    "ManualClock",
+    "SimClock",
+    "WallClock",
+    "ensure_clock",
+]

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import List, Mapping, Optional, Protocol, Sequence, Tuple
 
+from repro.core.clock import Clock
 from repro.core.cpa import CpaTable
 from repro.core.utility import PiecewiseLinearUtility
 from repro.perf import instrument as _perf
@@ -207,9 +208,15 @@ class JockeyController:
         *,
         stage_names: Sequence[str] = (),
         grid_floor: Optional[int] = None,
+        clock: Optional[Clock] = None,
     ):
         self.predictor = predictor
         self.config = config
+        #: Optional virtual-time source (see :mod:`repro.core.clock`).  In
+        #: batch simulation the runner passes elapsed time explicitly; the
+        #: live service attaches a wall clock and calls :meth:`decide_now`.
+        self.clock = clock
+        self._clock_start: Optional[float] = None
         self._utility = utility
         self._effective = utility.shifted_left(config.dead_zone_seconds)
         self._degraded_effective = utility.shifted_left(
@@ -285,6 +292,28 @@ class JockeyController:
                 indicator_swapped=indicator is not None,
             )
 
+    def attach_clock(self, clock: Clock, *, start: Optional[float] = None) -> None:
+        """Tick from ``clock`` (e.g. a wall clock in live service mode):
+        :meth:`decide_now` and :meth:`elapsed` read it instead of taking an
+        explicit elapsed argument.  ``start`` anchors the job's epoch on the
+        clock's timeline (default: the clock's current reading)."""
+        self.clock = clock
+        self._clock_start = float(clock.now() if start is None else start)
+
+    def elapsed(self) -> float:
+        """Seconds since the attached clock's job epoch."""
+        if self.clock is None:
+            raise ControlError("no clock attached; call attach_clock first")
+        if self._clock_start is None:
+            self._clock_start = self.clock.now()
+        return max(0.0, self.clock.now() - self._clock_start)
+
+    def decide_now(self, fractions: Mapping[str, float]) -> "ControlDecision":
+        """One control iteration with elapsed time read from the attached
+        clock — the live-service tick (wall-clock substrate) equivalent of
+        ``decide(fractions, sim_elapsed)``."""
+        return self.decide(fractions, self.elapsed())
+
     def reset_run_state(self) -> None:
         """Forget everything tied to one run — hysteresis, cached
         predictions, decisions, audit trail, degraded-tick count — so a
@@ -292,6 +321,7 @@ class JockeyController:
         day's run clean while keeping its model."""
         self._smoothed = None
         self._last_good = None
+        self._clock_start = None
         self.degraded_ticks = 0
         self.decisions = []
         self.audit = _audit.ControlAudit()

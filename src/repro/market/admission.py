@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.market.tenant import JobSpec, MarketError, MarketJob, Tenant
 from repro.telemetry import metrics as _metrics
@@ -83,6 +83,48 @@ class MarketAdmission:
             return None
         return max(1, need)
 
+    def admit_one(
+        self, tenant: Tenant, spec: JobSpec, now: float
+    ) -> Tuple[str, Optional[MarketJob], Optional[str]]:
+        """Decide one spec against one tenant's quota right now.
+
+        Returns ``("admitted", job, None)`` with the guarantee reserved in
+        ``tenant.live``, ``("queued", None, None)`` when the spec fits a
+        quiet quota but live jobs hold too much (the caller keeps it
+        queued), or ``("rejected", None, reason)``.  This is the shared
+        front door: the batch market's per-tick queue drain and the live
+        service's synchronous submit path both land here, so telemetry and
+        rejection reasons stay identical across substrates.
+        """
+        minimum = self.minimum_guarantee(spec, now)
+        if minimum is None:
+            budget = spec.absolute_deadline - now
+            reason = (
+                "deadline_passed" if budget <= 0 else "infeasible_width"
+            )
+            tenant.reject(reason)
+            self.stats.reject(reason)
+            _REJECTED.labels(reason=reason).inc()
+            return ("rejected", None, reason)
+        if minimum > tenant.quota:
+            tenant.reject("exceeds_quota")
+            self.stats.reject("exceeds_quota")
+            _REJECTED.labels(reason="exceeds_quota").inc()
+            return ("rejected", None, "exceeds_quota")
+        if tenant.guaranteed_in_use + minimum > tenant.quota:
+            # Fits a quiet quota, just not now: wait for live jobs to
+            # release their guarantees.
+            self.stats.queue_waits += 1
+            _QUEUE_WAITS.inc()
+            return ("queued", None, None)
+        job = MarketJob(spec=spec, guarantee=minimum, admitted_at=now)
+        tenant.live[spec.name] = job
+        tenant.admitted += 1
+        tenant.queue_delay_total += job.queue_delay
+        self.stats.admitted += 1
+        _ADMITTED.inc()
+        return ("admitted", job, None)
+
     def tick(
         self, tenants: Mapping[str, Tenant], now: float
     ) -> List[MarketJob]:
@@ -96,42 +138,14 @@ class MarketAdmission:
         for name in sorted(tenants):
             tenant = tenants[name]
             kept: List[JobSpec] = []
-            in_use = tenant.guaranteed_in_use
             while tenant.queue:
                 spec = tenant.queue.popleft()
-                minimum = self.minimum_guarantee(spec, now)
-                if minimum is None:
-                    budget = spec.absolute_deadline - now
-                    reason = (
-                        "deadline_passed" if budget <= 0
-                        else "infeasible_width"
-                    )
-                    tenant.reject(reason)
-                    self.stats.reject(reason)
-                    _REJECTED.labels(reason=reason).inc()
-                    continue
-                if minimum > tenant.quota:
-                    tenant.reject("exceeds_quota")
-                    self.stats.reject("exceeds_quota")
-                    _REJECTED.labels(reason="exceeds_quota").inc()
-                    continue
-                if in_use + minimum > tenant.quota:
-                    # Fits a quiet quota, just not now: wait for live
-                    # jobs to release their guarantees.
+                outcome, job, _reason = self.admit_one(tenant, spec, now)
+                if outcome == "admitted":
+                    admitted.append(job)
+                elif outcome == "queued":
                     kept.append(spec)
-                    self.stats.queue_waits += 1
-                    _QUEUE_WAITS.inc()
-                    continue
-                in_use += minimum
-                job = MarketJob(
-                    spec=spec, guarantee=minimum, admitted_at=now
-                )
-                tenant.live[spec.name] = job
-                tenant.admitted += 1
-                tenant.queue_delay_total += job.queue_delay
-                self.stats.admitted += 1
-                _ADMITTED.inc()
-                admitted.append(job)
+                # rejected specs are dropped (already counted).
             tenant.queue.extend(kept)
         return admitted
 

@@ -1,0 +1,245 @@
+"""Typed stdlib client for the live cluster service.
+
+Everything the CLI, the workers, the load generator, and the tests say
+to the arbiter goes through this one class, so the wire protocol has a
+single chokepoint.  Errors surface as :class:`ServiceClientError` with
+the HTTP status and the server's own message (the server names the
+offender; the client just carries it).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+
+class ServiceClientError(RuntimeError):
+    """A request the service rejected, or a transport failure."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """JSON-over-HTTP client bound to one arbiter URL."""
+
+    def __init__(self, url: str, *, timeout: float = 30.0):
+        if not url:
+            raise ServiceClientError("client needs the arbiter url")
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                raw = reply.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceClientError(
+                f"{method} {path} -> {exc.code}: {detail.strip()}",
+                status=exc.code,
+            ) from exc
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.url}: {exc}"
+            ) from exc
+        try:
+            return json.loads(raw) if raw.strip() else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceClientError(
+                f"{method} {path}: malformed reply: {exc}"
+            ) from exc
+
+    def _text(self, path: str) -> str:
+        request = urllib.request.Request(f"{self.url}{path}")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return reply.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceClientError(
+                f"GET {path} -> {exc.code}", status=exc.code
+            ) from exc
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.url}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Worker protocol
+    # ------------------------------------------------------------------
+
+    def register_worker(self, *, name: str, slots: int) -> Dict:
+        return self._request(
+            "POST", "/v1/workers/register", {"name": name, "slots": slots}
+        )
+
+    def heartbeat(self, worker_id: str) -> Dict:
+        return self._request(
+            "POST", "/v1/workers/heartbeat", {"worker_id": worker_id}
+        )
+
+    def lease(self, worker_id: str, *, max_tasks: int = 1) -> Dict:
+        return self._request(
+            "POST",
+            "/v1/workers/lease",
+            {"worker_id": worker_id, "max_tasks": max_tasks},
+        )
+
+    def complete_task(
+        self,
+        *,
+        task_id: str,
+        worker_id: str,
+        outcome: str = "ok",
+        lease_max: int = 0,
+    ) -> Dict:
+        """Report a finished attempt; with ``lease_max`` > 0 the reply may
+        chain the worker's next task(s) without a separate poll."""
+        return self._request(
+            "POST",
+            "/v1/tasks/complete",
+            {
+                "task_id": task_id,
+                "worker_id": worker_id,
+                "outcome": outcome,
+                "lease_max": lease_max,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Job protocol
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        *,
+        deadline_minutes: float,
+        template: Optional[str] = None,
+        bundle: Optional[Dict] = None,
+        command: Optional[Dict] = None,
+        tenant: str = "default",
+        policy: str = "jockey",
+        name: Optional[str] = None,
+    ) -> Dict:
+        payload: Dict = {
+            "deadline_minutes": deadline_minutes,
+            "tenant": tenant,
+            "policy": policy,
+        }
+        if template is not None:
+            payload["template"] = template
+        if bundle is not None:
+            payload["bundle"] = bundle
+        if command is not None:
+            payload["command"] = command
+        if name is not None:
+            payload["name"] = name
+        return self._request("POST", "/v1/jobs", payload)
+
+    def job(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def deadline(self, job_id: str) -> Dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/deadline")
+
+    def report(self, job_id: str, fmt: str = "text") -> str:
+        return self._text(f"/v1/jobs/{job_id}/report?format={fmt}")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_seconds: float = 0.05,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state (wall-clock bound)."""
+        limit = time.monotonic() + timeout
+        while True:
+            info = self.job(job_id)
+            if info.get("status") in ("completed", "failed", "rejected"):
+                return info
+            if time.monotonic() >= limit:
+                raise ServiceClientError(
+                    f"job {job_id!r} still {info.get('status')!r} after "
+                    f"{timeout:.1f}s"
+                )
+            time.sleep(poll_seconds)
+
+    def wait_all(
+        self,
+        job_ids: List[str],
+        *,
+        timeout: float = 120.0,
+        poll_seconds: float = 0.1,
+    ) -> Dict[str, Dict]:
+        """Wait for many jobs under one shared wall-clock budget."""
+        limit = time.monotonic() + timeout
+        done: Dict[str, Dict] = {}
+        pending = list(job_ids)
+        while pending:
+            still = []
+            for job_id in pending:
+                info = self.job(job_id)
+                if info.get("status") in ("completed", "failed", "rejected"):
+                    done[job_id] = info
+                else:
+                    still.append(job_id)
+            pending = still
+            if pending:
+                if time.monotonic() >= limit:
+                    raise ServiceClientError(
+                        f"{len(pending)} jobs unfinished after {timeout:.1f}s "
+                        f"(first: {pending[0]!r})"
+                    )
+                time.sleep(poll_seconds)
+        return done
+
+    # ------------------------------------------------------------------
+    # Service-wide
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def state(self) -> Dict:
+        return self._request("GET", "/v1/state")
+
+    def templates(self) -> Dict:
+        return self._request("GET", "/v1/templates")
+
+    def template_info(self, name: str) -> Dict:
+        return self._request("GET", f"/v1/templates/{name}")
+
+    def metrics_text(self) -> str:
+        return self._text("/metrics")
+
+    def shutdown(self, *, drain: bool = True) -> Dict:
+        return self._request("POST", "/v1/shutdown", {"drain": drain})
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

@@ -1,0 +1,184 @@
+"""Trained-model store for the live service.
+
+Template jobs submitted by name ("mapreduce", "A".."G") need a graph, a
+learned profile, and a C(p, a) table before the controller can promise
+anything about them.  The store trains each template lazily — the same
+profiling-run-then-build pipeline as ``repro train`` — through the
+content-addressed model cache, so the first submission of a template
+pays the build once and every later submission (and every later service
+process on the same machine) gets a warm hit.
+
+Tests inject tiny pre-built bundles with :meth:`TemplateModelStore.add`
+to keep the service lifecycle fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import cache as model_cache
+from repro import persist
+from repro.core.cpa import DEFAULT_ALLOCATIONS, CpaTable
+from repro.core.progress import totalwork_with_q
+from repro.jobs.dag import JobGraph
+from repro.jobs.profiles import JobProfile
+from repro.jobs.workloads import TABLE2_SPECS, generate_job, mapreduce_job
+from repro.cluster import Cluster, ClusterConfig
+from repro.runtime.jobmanager import JobManager, run_to_completion
+from repro.simkit.events import Simulator
+from repro.simkit.random import RngRegistry, derive_seed
+
+
+class TemplateError(ValueError):
+    """Raised for unknown templates or malformed uploaded bundles."""
+
+
+@dataclass(frozen=True)
+class TrainedTemplate:
+    """Everything the service needs to run and predict one job shape."""
+
+    name: str
+    graph: JobGraph
+    profile: JobProfile
+    table: Optional[CpaTable]
+
+    @property
+    def total_work_seconds(self) -> float:
+        """Expected token-seconds of the whole job (the market's ``work``)."""
+        return sum(
+            self.graph.stage(name).num_tasks
+            * self.profile.stage(name).mean_task_cost()
+            for name in self.profile.stage_names
+        )
+
+    @property
+    def width(self) -> int:
+        """Maximum useful parallelism: the widest stage."""
+        return max(s.num_tasks for s in self.graph.stages)
+
+
+class TemplateModelStore:
+    """Lazily trained (graph, profile, table) triples, by template name."""
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        profile_allocation: int = 50,
+        cpa_reps: int = 2,
+        cpa_jobs: Optional[int] = None,
+        allocations: Tuple[int, ...] = DEFAULT_ALLOCATIONS,
+        use_cache: bool = True,
+    ):
+        self.seed = int(seed)
+        self.profile_allocation = int(profile_allocation)
+        self.cpa_reps = int(cpa_reps)
+        self.cpa_jobs = cpa_jobs
+        self.allocations = tuple(allocations)
+        self.use_cache = bool(use_cache)
+        self._lock = threading.Lock()
+        self._trained: Dict[str, TrainedTemplate] = {}
+
+    # ------------------------------------------------------------------
+
+    def available(self) -> Tuple[str, ...]:
+        """Template names submittable by reference."""
+        with self._lock:
+            injected = set(self._trained)
+        return tuple(sorted(injected | {"mapreduce"} | set(TABLE2_SPECS)))
+
+    def add(
+        self,
+        name: str,
+        graph: JobGraph,
+        profile: JobProfile,
+        table: Optional[CpaTable],
+    ) -> TrainedTemplate:
+        """Inject a pre-built template (test hook and ``--bundle`` path)."""
+        trained = TrainedTemplate(name, graph, profile, table)
+        with self._lock:
+            self._trained[name] = trained
+        return trained
+
+    def get(self, name: str) -> TrainedTemplate:
+        """The trained template, building it on first use.
+
+        Training happens outside the service's request lock (the store has
+        its own) so a cold first submission never blocks heartbeats.
+        """
+        with self._lock:
+            hit = self._trained.get(name)
+        if hit is not None:
+            return hit
+        trained = self._train(name)
+        with self._lock:
+            # First builder wins if two submissions raced.
+            return self._trained.setdefault(name, trained)
+
+    def from_bundle_payload(self, payload: Dict) -> TrainedTemplate:
+        """Parse an inline-uploaded bundle (the ``repro train`` format)."""
+        if not isinstance(payload, dict):
+            raise TemplateError("bundle must be a JSON object")
+        version = payload.get("format_version")
+        if version != persist.FORMAT_VERSION:
+            raise TemplateError(
+                f"unsupported bundle version {version!r} "
+                f"(expected {persist.FORMAT_VERSION})"
+            )
+        try:
+            graph = persist.graph_from_dict(payload["graph"])
+            profile = persist.profile_from_dict(payload["profile"], graph)
+            table = (
+                persist.table_from_dict(payload["table"])
+                if payload.get("table") is not None
+                else None
+            )
+        except (KeyError, ValueError) as exc:
+            raise TemplateError(f"malformed bundle: {exc}") from exc
+        name = str(
+            (payload.get("metadata") or {}).get("job", graph.name) or graph.name
+        )
+        return TrainedTemplate(name, graph, profile, table)
+
+    # ------------------------------------------------------------------
+
+    def _train(self, name: str) -> TrainedTemplate:
+        if name == "mapreduce":
+            generated = mapreduce_job()
+        elif name in TABLE2_SPECS:
+            generated = generate_job(TABLE2_SPECS[name], seed=self.seed)
+        else:
+            raise TemplateError(
+                f"unknown template {name!r} "
+                f"(choose from {', '.join(self.available())})"
+            )
+        sim = Simulator()
+        cluster = Cluster(sim, ClusterConfig(), rng=RngRegistry(self.seed))
+        manager = JobManager(
+            cluster,
+            generated.graph,
+            generated.profile,
+            initial_allocation=self.profile_allocation,
+            rng=RngRegistry(self.seed).stream(f"service-train:{name}"),
+        )
+        trace = run_to_completion(manager)
+        learned = JobProfile.from_trace(
+            generated.graph, trace, min_failure_prob=0.001
+        )
+        indicator = totalwork_with_q(learned)
+        table = model_cache.get_or_build_table(
+            learned,
+            indicator,
+            indicator_kind="totalworkWithQ",
+            seed=derive_seed(self.seed, f"service-cpa:{name}"),
+            allocations=self.allocations,
+            reps=self.cpa_reps,
+            jobs=self.cpa_jobs,
+            use_cache=self.use_cache,
+        )
+        return TrainedTemplate(name, generated.graph, learned, table)
+
+
+__all__ = ["TemplateError", "TemplateModelStore", "TrainedTemplate"]

@@ -1,0 +1,1332 @@
+"""The live arbiter: a JSON-over-HTTP cluster manager.
+
+This is the first execution substrate where tasks run *outside* the
+simulator.  The service keeps the whole Jockey stack intact — market
+admission at the front door, the C(p, a) controller re-planning every
+tick, the prediction observatory publishing interval forecasts — and
+swaps only the bottom layer: instead of simkit events, work is leased
+over HTTP to real worker processes which execute subprocess commands or
+profile-sampled sleeps.
+
+Time.  All control math stays in *virtual seconds* (the time base of
+profiles, deadlines, and C(p, a) tables).  A single
+:class:`~repro.core.clock.WallClock` with ``time_scale`` wall-seconds
+per virtual-second maps the service's life onto that axis, so a profile
+trained on tens-of-minutes jobs replays against live workers in a few
+wall seconds without retraining — and the controller, attached to that
+clock, ticks from wall time exactly as it ticks from simulator time in
+batch mode.
+
+Protocol (all request/response bodies JSON)::
+
+    GET  /healthz                     liveness + drain state
+    GET  /metrics                     Prometheus exposition
+    GET  /v1/state                    full snapshot (jobs, workers, tenants)
+    GET  /v1/templates                submittable templates + market sizing
+    GET  /v1/jobs/<id>                job status
+    GET  /v1/jobs/<id>/result         terminal outcome (409 while running)
+    GET  /v1/jobs/<id>/deadline       latest prediction-observatory interval
+    GET  /v1/jobs/<id>/report?format= standard run report (text | html)
+    POST /v1/workers/register         {name, slots} -> worker_id
+    POST /v1/workers/heartbeat        {worker_id}
+    POST /v1/workers/lease            {worker_id, max_tasks} -> tasks
+    POST /v1/tasks/complete           {worker_id, task_id, outcome,
+                                       lease_max?} -> chained tasks
+    POST /v1/jobs                     submit (template | bundle | command)
+    POST /v1/shutdown                 {drain: bool}
+
+Worker loss is detected by heartbeat timeout: leased tasks of a silent
+worker are recorded as evicted attempts (feeding the existing failure
+telemetry) and re-queued, so a killed worker degrades the run without
+crashing it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Deque, Dict, List, Optional, Tuple
+from urllib.parse import urlparse
+
+import numpy as np
+
+from repro.chaos.injectors import BlackoutPredictor
+from repro.chaos.spec import ControlFaults
+from repro.core.clock import WallClock
+from repro.core.control import ControlConfig
+from repro.core.progress import totalwork_with_q
+from repro.core.utility import deadline_utility
+from repro.core.policies import (
+    AdaptiveModelPolicy,
+    AmdahlPolicy,
+    JockeyPolicy,
+    MaxAllocationPolicy,
+    NoAdaptationPolicy,
+)
+from repro.jobs.dag import DependencyTracker, JobGraph, Stage
+from repro.jobs.trace import (
+    OUTCOME_EVICTED,
+    OUTCOME_FAILED,
+    OUTCOME_OK,
+    RunTrace,
+    TaskRecord,
+)
+from repro.market.admission import MarketAdmission
+from repro.market.tenant import JobSpec as MarketJobSpec
+from repro.market.tenant import MarketError, Tenant
+from repro.runtime.jobmanager import JobSnapshot
+from repro.service.models import TemplateError, TemplateModelStore, TrainedTemplate
+from repro.simkit.random import derive_seed
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import predict as _predict
+from repro.telemetry.exposition import render_prometheus
+
+
+_JOBS_SUBMITTED = _metrics.REGISTRY.counter(
+    "repro_service_jobs_submitted_total",
+    "Jobs submitted to the live service",
+    labelnames=("outcome",),
+)
+_JOBS_FINISHED = _metrics.REGISTRY.counter(
+    "repro_service_jobs_finished_total",
+    "Live jobs reaching a terminal state",
+    labelnames=("outcome",),
+)
+_TASKS = _metrics.REGISTRY.counter(
+    "repro_service_task_attempts_total",
+    "Task attempts completed (or lost) on live workers",
+    labelnames=("outcome",),
+)
+_LEASES = _metrics.REGISTRY.counter(
+    "repro_service_leases_total", "Task leases granted to workers"
+)
+_TICKS = _metrics.REGISTRY.counter(
+    "repro_service_ticks_total",
+    "Live control-loop ticks",
+    labelnames=("disposition",),
+)
+_WORKERS_LOST = _metrics.REGISTRY.counter(
+    "repro_service_workers_lost_total",
+    "Workers declared dead by heartbeat timeout",
+)
+_WORKERS_GAUGE = _metrics.REGISTRY.gauge(
+    "repro_service_workers", "Live registered workers"
+)
+_RUNNING_GAUGE = _metrics.REGISTRY.gauge(
+    "repro_service_jobs_running", "Jobs currently executing"
+)
+
+
+class ServiceError(RuntimeError):
+    """A request the service refuses; carries the HTTP status to send."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one :class:`ClusterService`.
+
+    ``tick_seconds`` and ``heartbeat_timeout`` are *virtual* and *wall*
+    seconds respectively: the control period belongs to the model's time
+    base, liveness detection to the real one.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Guaranteed-token capacity of the experimental slice.  Sized so a
+    #: small host can physically deliver it: every running token costs
+    #: one HTTP completion round-trip per task, and a single-CPU arbiter
+    #: sustains roughly a hundred of those per wall second.
+    capacity_tokens: int = 40
+    #: Control period in virtual seconds (the paper re-plans every ~10 s
+    #: of job time; profiles here live on a minutes scale).  Re-planning
+    #: holds the service lock, so much shorter periods steal wall time
+    #: from the completion path on small hosts.
+    tick_seconds: float = 60.0
+    #: Wall seconds per virtual second (0.02 -> 50x compression).
+    #: Deeper compression is possible but squeezes HTTP round-trip
+    #: latency into ever-larger *virtual* overheads per task, opening a
+    #: gap between the simulation-trained C(p, a) model and live runs.
+    time_scale: float = 0.02
+    #: Wall seconds of silence before a worker is declared lost.
+    heartbeat_timeout: float = 5.0
+    #: Wall-seconds poll interval handed to workers; None derives one
+    #: from ``time_scale`` so idle polling costs only a couple of
+    #: *virtual* seconds regardless of compression.
+    poll_seconds: Optional[float] = None
+    slack: float = 1.2
+    max_task_attempts: int = 4
+    seed: int = 0
+    #: (tenant, quota) pairs; empty means one "default" tenant owning the
+    #: whole capacity.
+    tenants: Tuple[Tuple[str, int], ...] = ()
+    control: ControlConfig = field(default_factory=ControlConfig)
+    #: Control-plane chaos applied to the *live* loop (dropped ticks,
+    #: predictor blackouts).  Blackout windows are virtual seconds since
+    #: service start.
+    control_faults: Optional[ControlFaults] = None
+
+    def __post_init__(self):
+        if self.capacity_tokens < 1:
+            raise ServiceError(f"capacity must be >= 1, got {self.capacity_tokens!r}")
+        if self.tick_seconds <= 0:
+            raise ServiceError(f"tick_seconds must be positive, got {self.tick_seconds!r}")
+        if self.time_scale <= 0:
+            raise ServiceError(f"time_scale must be positive, got {self.time_scale!r}")
+        if self.heartbeat_timeout <= 0:
+            raise ServiceError("heartbeat_timeout must be positive")
+        if self.max_task_attempts < 1:
+            raise ServiceError("max_task_attempts must be >= 1")
+        if self.slack < 1.0:
+            raise ServiceError(f"slack must be >= 1, got {self.slack!r}")
+        if self.poll_seconds is not None and self.poll_seconds <= 0:
+            raise ServiceError("poll_seconds must be positive")
+
+    @property
+    def effective_poll_seconds(self) -> float:
+        """Worker idle-poll interval: explicit, or ~2 virtual seconds of
+        wall time bounded to [5 ms, 50 ms]."""
+        if self.poll_seconds is not None:
+            return self.poll_seconds
+        return max(0.005, min(0.05, 2.0 * self.time_scale))
+
+
+@dataclass
+class _Worker:
+    worker_id: str
+    name: str
+    slots: int
+    last_seen: float                     # wall monotonic
+    lost: bool = False
+    #: task_id -> job_id for every lease this worker holds.
+    leased: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _Lease:
+    task_id: str
+    worker_id: str
+    stage: str
+    index: int
+    attempt: int
+    ready_v: float
+    start_v: float
+
+
+class _VirtualNow:
+    """Duck-types ``Simulator.now`` for :class:`BlackoutPredictor` so the
+    chaos injector reads the service's virtual clock."""
+
+    def __init__(self, service: "ClusterService"):
+        self._service = service
+
+    @property
+    def now(self) -> float:
+        return self._service.now()
+
+
+_TERMINAL = ("completed", "failed", "rejected")
+
+
+class LiveJob:
+    """One job's server-side state (always mutated under the service lock)."""
+
+    def __init__(
+        self,
+        *,
+        job_id: str,
+        name: str,
+        tenant: str,
+        graph: JobGraph,
+        trained: Optional[TrainedTemplate],
+        policy_kind: str,
+        policy,
+        deadline_seconds: float,
+        submitted_v: float,
+        command: Optional[List[str]] = None,
+        task_seconds: float = 1.0,
+    ):
+        self.job_id = job_id
+        self.name = name
+        self.tenant = tenant
+        self.graph = graph
+        self.trained = trained
+        self.policy_kind = policy_kind
+        self.policy = policy
+        self.deadline_seconds = float(deadline_seconds)
+        self.submitted_v = float(submitted_v)
+        self.command = list(command) if command else None
+        self.task_seconds = float(task_seconds)
+
+        self.status = "queued"
+        self.reject_reason: Optional[str] = None
+        self.market = None               # MarketJob once admitted
+        self.started_v: Optional[float] = None
+        self.allocation = 0
+        self.consumed_token_seconds = 0.0
+        self.workers_lost = 0
+
+        self.tracker = DependencyTracker(graph)
+        self.total_tasks = sum(s.num_tasks for s in graph.stages)
+        self.stage_total = {s.name: s.num_tasks for s in graph.stages}
+        self.stage_done = {s.name: 0 for s in graph.stages}
+        self.done: set = set()           # (stage, index) first successes
+        self.attempts: Dict[Tuple[str, int], int] = {}
+        self.ready: Deque[Tuple[Tuple[str, int], float]] = deque()
+        self.running: Dict[str, _Lease] = {}
+        self.trace: Optional[RunTrace] = None
+
+    # -- observation ---------------------------------------------------
+
+    def fractions(self) -> Dict[str, float]:
+        return {
+            name: self.stage_done[name] / total
+            for name, total in self.stage_total.items()
+        }
+
+    def snapshot(self, now: float) -> JobSnapshot:
+        controller = getattr(self.policy, "controller", None)
+        if controller is not None and controller.clock is not None:
+            # The wall-clock path from core/control.py: elapsed comes from
+            # the attached clock, not from a simulator argument.
+            elapsed = controller.elapsed()
+        else:
+            elapsed = now - (self.started_v or now)
+        return JobSnapshot(
+            self.fractions(),
+            max(0.0, elapsed),
+            running=len(self.running),
+            allocation=self.allocation,
+            consumed_token_seconds=self.consumed_token_seconds,
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in _TERMINAL
+
+    def latest_prediction(self) -> Optional[_predict.PredictionRecord]:
+        controller = getattr(self.policy, "controller", None)
+        if controller is None or not controller.predictions.records():
+            return None
+        return controller.predictions.records()[-1]
+
+    # -- serialization -------------------------------------------------
+
+    def describe(self, now: float) -> Dict:
+        info = {
+            "job_id": self.job_id,
+            "name": self.name,
+            "tenant": self.tenant,
+            "status": self.status,
+            "policy": self.policy_kind,
+            "deadline_seconds": self.deadline_seconds,
+            "allocation": self.allocation,
+            "running_tasks": len(self.running),
+            "completed_tasks": len(self.done),
+            "total_tasks": self.total_tasks,
+            "stage_fractions": self.fractions(),
+            "workers_lost": self.workers_lost,
+        }
+        if self.reject_reason:
+            info["reason"] = self.reject_reason
+        if self.market is not None:
+            info["guarantee"] = self.market.guarantee
+        if self.started_v is not None:
+            end = self.trace.end_time if self.trace and self.trace.finished else now
+            info["elapsed_seconds"] = max(0.0, end - self.started_v)
+        if self.trace is not None and self.trace.finished:
+            info["duration_seconds"] = self.trace.duration
+            info["met_deadline"] = self.trace.duration <= self.deadline_seconds
+        return info
+
+
+def _build_policy(
+    kind: str,
+    trained: Optional[TrainedTemplate],
+    deadline_seconds: float,
+    config: ControlConfig,
+    capacity: int,
+):
+    """The service's edition of the CLI policy factory: profile-less
+    (command) jobs only support max-allocation."""
+    if kind == "max-allocation":
+        return MaxAllocationPolicy(capacity)
+    if trained is None:
+        raise ServiceError(
+            f"policy {kind!r} needs a trained template or bundle; "
+            "command jobs support only max-allocation"
+        )
+    utility = deadline_utility(deadline_seconds)
+    if kind == "jockey-no-sim":
+        return AmdahlPolicy(trained.profile, utility, config)
+    if trained.table is None:
+        raise ServiceError(f"policy {kind!r} needs a C(p, a) table in the bundle")
+    indicator = totalwork_with_q(trained.profile)
+    if kind == "jockey":
+        return JockeyPolicy(
+            trained.table, indicator, utility, config, profile=trained.profile
+        )
+    if kind == "jockey-online-model":
+        return AdaptiveModelPolicy(
+            trained.table, indicator, utility, config, profile=trained.profile
+        )
+    if kind == "jockey-no-adapt":
+        return NoAdaptationPolicy(
+            trained.table, indicator, utility, config, profile=trained.profile
+        )
+    raise ServiceError(f"unknown policy {kind!r}")
+
+
+def _serialize_prediction(rec: _predict.PredictionRecord) -> Dict:
+    return {
+        "tick": rec.tick,
+        "elapsed": rec.elapsed,
+        "allocation": rec.allocation,
+        "median": rec.median,
+        "bands": [
+            {"level": b.level, "lo": b.lo, "hi": b.hi} for b in rec.bands
+        ],
+    }
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for worker-fleet bursts.
+
+    The stdlib default listen backlog of 5 drops (RST) connections the
+    moment a fleet's task-completion wave lands; a deep backlog absorbs
+    it without touching any request handling.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class ClusterService:
+    """The arbiter: admission, allocation, leasing, liveness — one lock."""
+
+    def __init__(
+        self,
+        config: ServiceConfig = ServiceConfig(),
+        *,
+        store: Optional[TemplateModelStore] = None,
+    ):
+        self.config = config
+        self.store = store if store is not None else TemplateModelStore(
+            seed=config.seed
+        )
+        self.clock: Optional[WallClock] = None
+        self._lock = threading.RLock()
+        self._admission = MarketAdmission(slack=config.slack)
+        tenant_pairs = config.tenants or (("default", config.capacity_tokens),)
+        self._tenants = {
+            name: Tenant(name=name, quota=int(quota))
+            for name, quota in tenant_pairs
+        }
+        self._jobs: Dict[str, LiveJob] = {}
+        self._workers: Dict[str, _Worker] = {}
+        self._job_seq = 0
+        self._worker_seq = 0
+        self._rng = np.random.default_rng(derive_seed(config.seed, "service-durations"))
+        self._chaos_rng = np.random.default_rng(derive_seed(config.seed, "service-chaos"))
+        self._draining = False
+        self._drained = threading.Event()
+        self._stop = threading.Event()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._control_thread: Optional[threading.Thread] = None
+        self._port: Optional[int] = None
+        self.started_wall: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind, start the HTTP and control threads, return the port."""
+        if self._httpd is not None:
+            raise ServiceError("service already started", status=409)
+        self.clock = WallClock(time_scale=self.config.time_scale)
+        self.started_wall = time.monotonic()
+        handler = _make_handler(self)
+        self._httpd = _ServiceHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+        self._control_thread = threading.Thread(
+            target=self._control_loop, name="repro-service-control", daemon=True
+        )
+        self._control_thread.start()
+        return self._port
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        if self._port is None:
+            raise ServiceError("service not started", status=409)
+        return f"http://{self.config.host}:{self._port}"
+
+    def now(self) -> float:
+        """Virtual seconds since the service started."""
+        return self.clock.now() if self.clock is not None else 0.0
+
+    @property
+    def shutdown_requested(self) -> bool:
+        """True once a stop should proceed: an immediate stop was
+        requested, or a drain was requested and the last job finished."""
+        if self._stop.is_set():
+            return True
+        with self._lock:
+            return self._draining and self._drained.is_set()
+
+    def stop(self, *, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        """Shut down; with ``drain`` wait for live jobs to finish first."""
+        if drain:
+            with self._lock:
+                self._draining = True
+                if not self._has_open_jobs():
+                    self._drained.set()
+            self._drained.wait(timeout)
+        self._stop.set()
+        if drain:
+            # Keep answering for a couple of poll intervals so workers
+            # see the shutdown flag and exit cleanly instead of timing
+            # out against a closed socket.
+            time.sleep(3.0 * self.config.effective_poll_seconds)
+        if self._control_thread is not None:
+            self._control_thread.join(timeout=5.0)
+            self._control_thread = None
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
+
+    def __enter__(self) -> "ClusterService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=False)
+
+    def _has_open_jobs(self) -> bool:
+        return any(not job.terminal for job in self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+
+    def _control_loop(self) -> None:
+        tick_wall = max(0.005, self.config.tick_seconds * self.config.time_scale)
+        while not self._stop.is_set():
+            if self._stop.wait(tick_wall):
+                break
+            try:
+                self.tick()
+            except Exception:                      # pragma: no cover
+                # A control hiccup must never take the arbiter down; the
+                # next tick retries from current state.
+                _TICKS.labels(disposition="error").inc()
+
+    def tick(self) -> None:
+        """One live control period: liveness sweep, admission, re-plan."""
+        now = self.now()
+        wall = time.monotonic()
+        with self._lock:
+            self._sweep_workers(wall, now)
+            self._admit_queued(now)
+            disposition = self._tick_disposition()
+            _TICKS.labels(disposition=disposition).inc()
+            if disposition == "ok":
+                self._replan(now)
+            if self._draining and not self._has_open_jobs():
+                self._drained.set()
+            _WORKERS_GAUGE.set(
+                sum(1 for w in self._workers.values() if not w.lost)
+            )
+            _RUNNING_GAUGE.set(
+                sum(1 for j in self._jobs.values() if j.status == "running")
+            )
+
+    def _tick_disposition(self) -> str:
+        faults = self.config.control_faults
+        if faults is None:
+            return "ok"
+        p_skip = faults.drop_tick_prob + faults.delay_tick_prob
+        if p_skip > 0 and self._chaos_rng.random() < p_skip:
+            # Live loop folds "delayed" into "dropped": a decision that
+            # misses its period is applied at the next one anyway.
+            return "dropped"
+        return "ok"
+
+    def _sweep_workers(self, wall: float, now: float) -> None:
+        timeout = self.config.heartbeat_timeout
+        for worker in list(self._workers.values()):
+            if worker.lost or wall - worker.last_seen <= timeout:
+                continue
+            worker.lost = True
+            _WORKERS_LOST.inc()
+            for task_id, job_id in list(worker.leased.items()):
+                job = self._jobs.get(job_id)
+                if job is None:
+                    continue
+                lease = job.running.pop(task_id, None)
+                if lease is None:
+                    continue
+                end_v = max(now, lease.start_v)
+                if job.trace is not None:
+                    job.trace.add(TaskRecord(
+                        stage=lease.stage,
+                        index=lease.index,
+                        attempt=lease.attempt,
+                        ready_time=lease.ready_v,
+                        start_time=lease.start_v,
+                        end_time=end_v,
+                        outcome=OUTCOME_EVICTED,
+                    ))
+                    job.trace.mark_running(end_v, len(job.running))
+                _TASKS.labels(outcome="lost").inc()
+                job.workers_lost += 1
+                # Re-queue for another worker; eviction does not count
+                # against max_task_attempts (the task did nothing wrong).
+                job.ready.append(((lease.stage, lease.index), end_v))
+            worker.leased.clear()
+
+    def _admit_queued(self, now: float) -> None:
+        for market_job in self._admission.tick(self._tenants, now):
+            job = self._jobs.get(market_job.spec.name)
+            if job is not None and job.status == "queued":
+                job.market = market_job
+                self._activate(job, now)
+        # Specs whose deadline lapsed while queued are dropped by the
+        # admission tick; reflect that in the jobs they belong to.
+        queued_names = {
+            spec.name
+            for tenant in self._tenants.values()
+            for spec in tenant.queue
+        }
+        for job in self._jobs.values():
+            if job.status == "queued" and job.job_id not in queued_names \
+                    and job.market is None:
+                job.status = "rejected"
+                job.reject_reason = job.reject_reason or "deadline_passed"
+                _JOBS_FINISHED.labels(outcome="rejected").inc()
+
+    def _replan(self, now: float) -> None:
+        for job in self._jobs.values():
+            if job.status != "running" or not job.policy.adaptive:
+                continue
+            try:
+                new_alloc = job.policy.on_tick(job.snapshot(now))
+            except Exception:
+                # PredictorUnavailable escapes only from misconfiguration;
+                # the controller itself degrades internally.  Hold.
+                new_alloc = None
+            if new_alloc is not None and new_alloc != job.allocation:
+                job.allocation = max(1, int(new_alloc))
+                if job.trace is not None:
+                    job.trace.mark_allocation(now, job.allocation)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(self, body: Dict) -> Dict:
+        """Admit one submission through the market front door."""
+        if not isinstance(body, dict):
+            raise ServiceError("submit body must be a JSON object")
+        tenant_name = str(body.get("tenant", "default"))
+        policy_kind = str(body.get("policy", "jockey"))
+        deadline_minutes = body.get("deadline_minutes")
+        if deadline_minutes is None:
+            raise ServiceError("submit needs deadline_minutes")
+        try:
+            deadline_v = float(deadline_minutes) * 60.0
+        except (TypeError, ValueError):
+            raise ServiceError(f"bad deadline_minutes {deadline_minutes!r}")
+        if deadline_v <= 0:
+            raise ServiceError("deadline_minutes must be positive")
+
+        template = body.get("template")
+        bundle = body.get("bundle")
+        command = body.get("command")
+        modes = sum(x is not None for x in (template, bundle, command))
+        if modes != 1:
+            raise ServiceError(
+                "submit needs exactly one of template, bundle, command"
+            )
+
+        # Resolve the model outside the service lock: a cold template
+        # trains for seconds and must not block heartbeats.
+        trained: Optional[TrainedTemplate] = None
+        if template is not None:
+            try:
+                trained = self.store.get(str(template))
+            except TemplateError as exc:
+                raise ServiceError(str(exc)) from exc
+        elif bundle is not None:
+            try:
+                trained = self.store.from_bundle_payload(bundle)
+            except TemplateError as exc:
+                raise ServiceError(str(exc)) from exc
+
+        with self._lock:
+            if self._draining:
+                raise ServiceError("service is draining", status=503)
+            tenant = self._tenants.get(tenant_name)
+            if tenant is None:
+                raise ServiceError(
+                    f"unknown tenant {tenant_name!r} "
+                    f"(registered: {', '.join(sorted(self._tenants))})",
+                    status=404,
+                )
+            now = self.now()
+            self._job_seq += 1
+            job_id = f"job-{self._job_seq:05d}"
+            if trained is not None:
+                graph = trained.graph
+                work = trained.total_work_seconds
+                width = min(self.config.capacity_tokens, trained.width)
+                command_argv = None
+                task_seconds = 0.0
+                name = str(body.get("name") or trained.name)
+            else:
+                if not isinstance(command, dict) or not command.get("argv"):
+                    raise ServiceError(
+                        "command submissions need {argv: [...], tasks: N}"
+                    )
+                command_argv = [str(a) for a in command["argv"]]
+                num_tasks = int(command.get("tasks", 1))
+                task_seconds = float(command.get("task_seconds", 1.0))
+                if num_tasks < 1 or task_seconds <= 0:
+                    raise ServiceError("command tasks/task_seconds must be positive")
+                name = str(body.get("name") or f"cmd-{job_id}")
+                graph = JobGraph(name, [Stage("cmd", num_tasks)], [])
+                work = num_tasks * task_seconds
+                width = min(self.config.capacity_tokens, num_tasks)
+
+            policy = _build_policy(
+                policy_kind, trained, deadline_v, self.config.control,
+                capacity=min(self.config.capacity_tokens, width),
+            )
+            job = LiveJob(
+                job_id=job_id,
+                name=name,
+                tenant=tenant_name,
+                graph=graph,
+                trained=trained,
+                policy_kind=policy_kind,
+                policy=policy,
+                deadline_seconds=deadline_v,
+                submitted_v=now,
+                command=command_argv,
+                task_seconds=task_seconds,
+            )
+            self._jobs[job_id] = job
+            tenant.submitted += 1
+            try:
+                spec = MarketJobSpec(
+                    name=job_id,
+                    tenant=tenant_name,
+                    work=work,
+                    width=width,
+                    deadline_seconds=deadline_v,
+                    submit_seconds=now,
+                )
+            except MarketError as exc:
+                raise ServiceError(str(exc)) from exc
+            outcome, market_job, reason = self._admission.admit_one(
+                tenant, spec, now
+            )
+            _JOBS_SUBMITTED.labels(outcome=outcome).inc()
+            if outcome == "admitted":
+                job.market = market_job
+                self._activate(job, now)
+            elif outcome == "queued":
+                tenant.queue.append(spec)
+            else:
+                job.status = "rejected"
+                job.reject_reason = reason
+                _JOBS_FINISHED.labels(outcome="rejected").inc()
+            response = {
+                "job_id": job_id,
+                "status": job.status,
+                "deadline_seconds": deadline_v,
+            }
+            if reason:
+                response["reason"] = reason
+            if job.market is not None:
+                response["guarantee"] = job.market.guarantee
+            prediction = job.latest_prediction()
+            if prediction is not None:
+                response["prediction"] = _serialize_prediction(prediction)
+            return response
+
+    def _activate(self, job: LiveJob, now: float) -> None:
+        """Queued -> running: start the trace, pick the first allocation."""
+        job.status = "running"
+        job.started_v = now
+        job.trace = RunTrace(
+            job_name=job.name, start_time=now, deadline=job.deadline_seconds
+        )
+        controller = getattr(job.policy, "controller", None)
+        if controller is not None and self.clock is not None:
+            controller.attach_clock(self.clock, start=now)
+            faults = self.config.control_faults
+            if faults is not None and faults.blackouts:
+                controller.predictor = BlackoutPredictor(
+                    controller.predictor, _VirtualNow(self), faults.blackouts
+                )
+        try:
+            job.allocation = max(1, int(job.policy.initial_allocation()))
+        except Exception:
+            # Degraded start (e.g. blackout at t=0): hold the market
+            # guarantee until the predictor comes back.
+            job.allocation = job.market.guarantee if job.market else 1
+        if job.market is not None:
+            # Never run below the guarantee the market reserved.
+            job.allocation = max(job.allocation, 1)
+        job.trace.mark_allocation(now, job.allocation)
+        for task in job.tracker.initially_ready():
+            job.ready.append((task, now))
+
+    def _finish_job(self, job: LiveJob, now: float) -> None:
+        job.trace.end_time = now
+        job.status = "completed"
+        met = job.trace.duration <= job.deadline_seconds
+        _JOBS_FINISHED.labels(outcome="met" if met else "missed").inc()
+        tenant = self._tenants.get(job.tenant)
+        if tenant is not None:
+            market_job = tenant.live.pop(job.job_id, None)
+            if market_job is not None:
+                market_job.finished_at = now
+                market_job.remaining = 0.0
+            tenant.completed += 1
+            if met:
+                tenant.met += 1
+
+    def _fail_job(self, job: LiveJob, now: float, reason: str) -> None:
+        job.trace.end_time = max(now, job.trace.start_time)
+        job.status = "failed"
+        job.reject_reason = reason
+        _JOBS_FINISHED.labels(outcome="failed").inc()
+        tenant = self._tenants.get(job.tenant)
+        if tenant is not None:
+            market_job = tenant.live.pop(job.job_id, None)
+            if market_job is not None:
+                market_job.finished_at = now
+            tenant.completed += 1
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def register_worker(self, body: Dict) -> Dict:
+        name = str(body.get("name", "worker"))
+        slots = int(body.get("slots", 1))
+        if slots < 1:
+            raise ServiceError(f"slots must be >= 1, got {slots!r}")
+        with self._lock:
+            self._worker_seq += 1
+            worker_id = f"w-{self._worker_seq:03d}"
+            self._workers[worker_id] = _Worker(
+                worker_id=worker_id,
+                name=name,
+                slots=slots,
+                last_seen=time.monotonic(),
+            )
+            _WORKERS_GAUGE.set(
+                sum(1 for w in self._workers.values() if not w.lost)
+            )
+        return {
+            "worker_id": worker_id,
+            "poll_seconds": self.config.effective_poll_seconds,
+            # Completions refresh liveness too, so a busy worker only
+            # needs this slow safety beat — not one per poll interval.
+            "heartbeat_seconds": max(0.1, self.config.heartbeat_timeout / 5.0),
+            "time_scale": self.config.time_scale,
+        }
+
+    def _worker(self, worker_id: str) -> _Worker:
+        worker = self._workers.get(str(worker_id))
+        if worker is None:
+            raise ServiceError(f"unknown worker {worker_id!r}", status=404)
+        if worker.lost:
+            raise ServiceError(
+                f"worker {worker_id!r} was declared lost "
+                "(heartbeat timeout); re-register",
+                status=409,
+            )
+        return worker
+
+    def heartbeat(self, body: Dict) -> Dict:
+        with self._lock:
+            worker = self._worker(body.get("worker_id"))
+            worker.last_seen = time.monotonic()
+            return {"ok": True, "shutdown": self._stop.is_set()}
+
+    def lease(self, body: Dict) -> Dict:
+        """Hand out ready tasks up to each job's current allocation."""
+        max_tasks = int(body.get("max_tasks", 1))
+        with self._lock:
+            worker = self._worker(body.get("worker_id"))
+            worker.last_seen = time.monotonic()
+            granted = self._grant_tasks(worker, max_tasks)
+            return {
+                "tasks": granted,
+                "poll_seconds": self.config.effective_poll_seconds,
+                "shutdown": self._stop.is_set(),
+            }
+
+    def _grant_tasks(self, worker: _Worker, max_tasks: int) -> List[Dict]:
+        """Grant up to ``max_tasks`` ready tasks to ``worker`` (lock held)."""
+        granted: List[Dict] = []
+        if max_tasks <= 0 or self._stop.is_set():
+            return granted
+        now = self.now()
+        cluster_running = sum(len(j.running) for j in self._jobs.values())
+        for job in self._running_jobs():
+            while (
+                job.ready
+                and len(job.running) < job.allocation
+                and cluster_running < self.config.capacity_tokens
+                and len(granted) < max_tasks
+            ):
+                granted.append(self._grant(job, worker, now))
+                cluster_running += 1
+            if len(granted) >= max_tasks:
+                break
+        if granted:
+            _LEASES.inc(len(granted))
+        return granted
+
+    def _running_jobs(self) -> List[LiveJob]:
+        jobs = [j for j in self._jobs.values() if j.status == "running"]
+        # Earliest-started first: FIFO service order, stable across calls.
+        jobs.sort(key=lambda j: (j.started_v, j.job_id))
+        return jobs
+
+    def _grant(self, job: LiveJob, worker: _Worker, now: float) -> Dict:
+        (stage, index), ready_v = job.ready.popleft()
+        attempt = job.attempts.get((stage, index), 0)
+        task_id = f"{job.job_id}/{stage}/{index}/{attempt}"
+        job.running[task_id] = _Lease(
+            task_id=task_id,
+            worker_id=worker.worker_id,
+            stage=stage,
+            index=index,
+            attempt=attempt,
+            ready_v=ready_v,
+            start_v=now,
+        )
+        worker.leased[task_id] = job.job_id
+        if job.trace is not None:
+            job.trace.mark_running(now, len(job.running))
+        payload = {"task_id": task_id, "job_id": job.job_id, "stage": stage}
+        if job.command is not None:
+            payload["mode"] = "command"
+            payload["argv"] = list(job.command)
+        else:
+            profile_stage = job.trained.profile.stage(stage)
+            duration_v = max(
+                0.0,
+                float(profile_stage.init.sample(self._rng))
+                + float(profile_stage.runtime.sample(self._rng)),
+            )
+            payload["mode"] = "sleep"
+            payload["wall_seconds"] = duration_v * self.config.time_scale
+        return payload
+
+    def complete_task(self, body: Dict) -> Dict:
+        task_id = str(body.get("task_id", ""))
+        outcome = str(body.get("outcome", OUTCOME_OK))
+        if outcome not in (OUTCOME_OK, OUTCOME_FAILED):
+            raise ServiceError(f"unknown outcome {outcome!r}")
+        with self._lock:
+            worker = self._workers.get(str(body.get("worker_id")))
+            if worker is None or worker.lost:
+                # A zombie finishing after its heartbeat lapsed: the task
+                # was already re-queued; the result is stale.
+                raise ServiceError(
+                    f"stale completion for {task_id!r}: worker no longer live",
+                    status=409,
+                )
+            worker.last_seen = time.monotonic()
+            job_id = task_id.split("/", 1)[0]
+            job = self._jobs.get(job_id)
+            lease = job.running.get(task_id) if job is not None else None
+            if lease is None or lease.worker_id != worker.worker_id:
+                raise ServiceError(
+                    f"no live lease for {task_id!r} held by "
+                    f"{worker.worker_id!r}",
+                    status=409,
+                )
+            now = max(self.now(), lease.start_v)
+            del job.running[task_id]
+            worker.leased.pop(task_id, None)
+            record = TaskRecord(
+                stage=lease.stage,
+                index=lease.index,
+                attempt=lease.attempt,
+                ready_time=lease.ready_v,
+                start_time=lease.start_v,
+                end_time=now,
+                outcome=outcome,
+            )
+            job.trace.add(record)
+            job.trace.mark_running(now, len(job.running))
+            _TASKS.labels(outcome=outcome).inc()
+            key = (lease.stage, lease.index)
+            if outcome == OUTCOME_OK:
+                job.consumed_token_seconds += record.run_time
+                if key not in job.done:
+                    job.done.add(key)
+                    job.stage_done[lease.stage] += 1
+                    for task in job.tracker.complete(lease.stage, lease.index):
+                        job.ready.append((task, now))
+                if len(job.done) == job.total_tasks:
+                    self._finish_job(job, now)
+            else:
+                attempts = job.attempts.get(key, 0) + 1
+                job.attempts[key] = attempts
+                if attempts >= self.config.max_task_attempts:
+                    self._fail_job(
+                        job, now,
+                        f"task {lease.stage}[{lease.index}] failed "
+                        f"{attempts} times",
+                    )
+                else:
+                    job.ready.append((key, now))
+            reply = {"ok": True, "job_status": job.status}
+            # Piggybacked lease: chaining the next task onto the
+            # completion reply removes a full poll interval of *virtual*
+            # dead time per task, which at high compression is the
+            # difference between meeting and missing deadlines.
+            lease_max = int(body.get("lease_max", 0))
+            if lease_max > 0:
+                reply["tasks"] = self._grant_tasks(worker, lease_max)
+            return reply
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _job(self, job_id: str) -> LiveJob:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def job_status(self, job_id: str) -> Dict:
+        with self._lock:
+            return self._job(job_id).describe(self.now())
+
+    def job_result(self, job_id: str) -> Dict:
+        with self._lock:
+            job = self._job(job_id)
+            if not job.terminal:
+                raise ServiceError(
+                    f"job {job_id!r} still {job.status}", status=409
+                )
+            info = job.describe(self.now())
+            if job.trace is not None and job.trace.finished:
+                info["total_cpu_seconds"] = job.trace.total_cpu_seconds()
+                info["wasted_cpu_seconds"] = job.trace.wasted_cpu_seconds()
+                info["allocation_seconds"] = job.trace.allocation_seconds()
+            return info
+
+    def job_deadline(self, job_id: str) -> Dict:
+        """The prediction-observatory view: the interval the controller
+        currently promises for this job's completion time."""
+        with self._lock:
+            job = self._job(job_id)
+            now = self.now()
+            info = {
+                "job_id": job_id,
+                "status": job.status,
+                "deadline_seconds": job.deadline_seconds,
+                "elapsed_seconds": (
+                    max(0.0, now - job.started_v)
+                    if job.started_v is not None else 0.0
+                ),
+            }
+            prediction = job.latest_prediction()
+            info["prediction"] = (
+                _serialize_prediction(prediction)
+                if prediction is not None else None
+            )
+            if prediction is not None:
+                info["on_track"] = prediction.median <= job.deadline_seconds
+            return info
+
+    def job_report(self, job_id: str, fmt: str = "text") -> str:
+        """The standard run report (same renderer as ``repro run``)."""
+        from repro.telemetry import report as telemetry_report
+
+        if fmt not in ("text", "html"):
+            raise ServiceError(f"unknown report format {fmt!r}")
+        with self._lock:
+            job = self._job(job_id)
+            if job.trace is None or not job.trace.finished:
+                raise ServiceError(
+                    f"job {job_id!r} has no finished trace yet", status=409
+                )
+            controller = getattr(job.policy, "controller", None)
+            records = (
+                controller.audit.decisions() if controller is not None else []
+            )
+            slack = (
+                controller.config.slack
+                if controller is not None else self.config.slack
+            )
+            ledger = getattr(controller, "predictions", None)
+            table = job.trained.table if job.trained is not None else None
+            run_report = telemetry_report.from_audit_and_trace(
+                job.trace,
+                records,
+                policy=job.policy_kind,
+                table=table,
+                slack=slack,
+                title=f"{job.name} / {job.policy_kind} (live)",
+                prediction_records=(
+                    ledger.records() if ledger is not None else []
+                ),
+                notes=(
+                    f"live service run; {job.workers_lost} task attempts "
+                    "lost to worker failures",
+                ) if job.workers_lost else (),
+            )
+        if fmt == "html":
+            return telemetry_report.render_html(run_report)
+        return telemetry_report.render_text(run_report)
+
+    def healthz(self) -> Dict:
+        with self._lock:
+            return {
+                "status": "draining" if self._draining else "ok",
+                "time_scale": self.config.time_scale,
+                "virtual_now": self.now(),
+                "jobs": len(self._jobs),
+                "workers": sum(
+                    1 for w in self._workers.values() if not w.lost
+                ),
+            }
+
+    def state(self) -> Dict:
+        with self._lock:
+            now = self.now()
+            return {
+                "virtual_now": now,
+                "time_scale": self.config.time_scale,
+                "capacity_tokens": self.config.capacity_tokens,
+                "draining": self._draining,
+                "jobs": [
+                    job.describe(now)
+                    for _, job in sorted(self._jobs.items())
+                ],
+                "workers": [
+                    {
+                        "worker_id": w.worker_id,
+                        "name": w.name,
+                        "slots": w.slots,
+                        "lost": w.lost,
+                        "leased_tasks": len(w.leased),
+                    }
+                    for _, w in sorted(self._workers.items())
+                ],
+                "tenants": {
+                    name: tenant.stats()
+                    for name, tenant in sorted(self._tenants.items())
+                },
+                "admission": {
+                    "admitted": self._admission.stats.admitted,
+                    "rejected": self._admission.stats.rejected,
+                    "queue_waits": self._admission.stats.queue_waits,
+                },
+            }
+
+    def templates(self) -> Dict:
+        """Submittable templates; sizing is filled in lazily (asking for a
+        template's sizing trains it, which warms the submit path too)."""
+        return {"templates": list(self.store.available())}
+
+    def template_info(self, name: str) -> Dict:
+        try:
+            trained = self.store.get(name)
+        except TemplateError as exc:
+            raise ServiceError(str(exc), status=404) from exc
+        width = min(self.config.capacity_tokens, trained.width)
+        work = trained.total_work_seconds
+        return {
+            "template": name,
+            "stages": {
+                s.name: s.num_tasks for s in trained.graph.stages
+            },
+            "total_work_seconds": work,
+            "width": width,
+            # Smallest relative deadline the market will ever admit at
+            # full width (callers should submit with headroom above it).
+            "min_feasible_seconds": self.config.slack * work / max(1, width),
+        }
+
+    def request_shutdown(self, body: Dict) -> Dict:
+        drain = bool(body.get("drain", True))
+        with self._lock:
+            self._draining = True
+            if not drain or not self._has_open_jobs():
+                self._drained.set()
+        if not drain:
+            self._stop.set()
+        return {"ok": True, "draining": drain}
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing (same http.server idiom as telemetry/exposition.py)
+# ----------------------------------------------------------------------
+
+
+def _make_handler(service: ClusterService):
+    class _Handler(BaseHTTPRequestHandler):
+        server_version = "repro-service/1"
+
+        # -- helpers ---------------------------------------------------
+
+        def _send_json(self, status: int, payload: Dict) -> None:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_text(self, status: int, text: str,
+                       content_type: str = "text/plain") -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _read_body(self) -> Dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length == 0:
+                return {}
+            raw = self.rfile.read(length)
+            try:
+                parsed = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServiceError(f"request body is not JSON: {exc}")
+            if not isinstance(parsed, dict):
+                raise ServiceError("request body must be a JSON object")
+            return parsed
+
+        def _dispatch(self, fn) -> None:
+            try:
+                fn()
+            except ServiceError as exc:
+                self._send_json(exc.status, {"error": str(exc)})
+            except BrokenPipeError:     # client went away mid-response
+                pass
+            except Exception as exc:    # pragma: no cover - defensive
+                self._send_json(500, {"error": f"internal error: {exc}"})
+
+        # -- routes ----------------------------------------------------
+
+        def do_GET(self) -> None:       # noqa: N802 (http.server API)
+            self._dispatch(self._get)
+
+        def do_POST(self) -> None:      # noqa: N802
+            self._dispatch(self._post)
+
+        def _get(self) -> None:
+            parsed = urlparse(self.path)
+            path = parsed.path.rstrip("/") or "/"
+            if path == "/healthz":
+                self._send_json(200, service.healthz())
+            elif path == "/metrics":
+                self._send_text(
+                    200, render_prometheus(_metrics.REGISTRY),
+                    content_type="text/plain; version=0.0.4",
+                )
+            elif path == "/v1/state":
+                self._send_json(200, service.state())
+            elif path == "/v1/templates":
+                self._send_json(200, service.templates())
+            elif path.startswith("/v1/templates/"):
+                self._send_json(
+                    200, service.template_info(path.split("/", 3)[3])
+                )
+            elif path.startswith("/v1/jobs/"):
+                parts = path.split("/")[3:]   # [job_id, (sub)?]
+                job_id = parts[0]
+                sub = parts[1] if len(parts) > 1 else ""
+                if sub == "":
+                    self._send_json(200, service.job_status(job_id))
+                elif sub == "result":
+                    self._send_json(200, service.job_result(job_id))
+                elif sub == "deadline":
+                    self._send_json(200, service.job_deadline(job_id))
+                elif sub == "report":
+                    fmt = "text"
+                    for pair in parsed.query.split("&"):
+                        if pair.startswith("format="):
+                            fmt = pair.split("=", 1)[1]
+                    text = service.job_report(job_id, fmt)
+                    self._send_text(
+                        200, text,
+                        content_type="text/html" if fmt == "html"
+                        else "text/plain",
+                    )
+                else:
+                    raise ServiceError(f"unknown endpoint {path!r}", status=404)
+            else:
+                raise ServiceError(f"unknown endpoint {path!r}", status=404)
+
+        def _post(self) -> None:
+            path = urlparse(self.path).path.rstrip("/")
+            body = self._read_body()
+            if path == "/v1/workers/register":
+                self._send_json(200, service.register_worker(body))
+            elif path == "/v1/workers/heartbeat":
+                self._send_json(200, service.heartbeat(body))
+            elif path == "/v1/workers/lease":
+                self._send_json(200, service.lease(body))
+            elif path == "/v1/tasks/complete":
+                self._send_json(200, service.complete_task(body))
+            elif path == "/v1/jobs":
+                self._send_json(200, service.submit(body))
+            elif path == "/v1/shutdown":
+                self._send_json(200, service.request_shutdown(body))
+            else:
+                raise ServiceError(f"unknown endpoint {path!r}", status=404)
+
+        def log_message(self, fmt: str, *args) -> None:
+            pass                        # keep worker chatter off stderr
+
+    return _Handler
+
+
+__all__ = [
+    "ClusterService",
+    "LiveJob",
+    "ServiceConfig",
+    "ServiceError",
+]

@@ -1,0 +1,138 @@
+"""Clock abstraction tests: the control loop's two time substrates."""
+
+import time
+
+import pytest
+
+from repro.core.clock import (
+    Clock,
+    ClockError,
+    ManualClock,
+    SimClock,
+    WallClock,
+    ensure_clock,
+)
+from repro.core.control import ControlError, JockeyController
+from repro.simkit.events import Simulator
+
+
+class TestSimClock:
+    def test_reads_simulator_now(self):
+        sim = Simulator()
+        clock = SimClock(sim)
+        assert clock.now() == 0.0
+        sim.schedule(12.5, lambda: None)
+        sim.run()
+        assert clock.now() == pytest.approx(12.5)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(SimClock(Simulator()), Clock)
+
+
+class TestWallClock:
+    def test_starts_near_zero_and_moves_forward(self):
+        clock = WallClock(time_scale=1.0)
+        first = clock.now()
+        assert first >= 0.0
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_time_scale_compresses(self):
+        # 0.01 wall seconds per virtual second: 20 ms of wall time must
+        # read as roughly 2 virtual seconds.
+        clock = WallClock(time_scale=0.01)
+        time.sleep(0.02)
+        assert clock.now() == pytest.approx(2.0, abs=1.5)
+
+    def test_conversions_round_trip(self):
+        clock = WallClock(time_scale=0.05)
+        assert clock.to_wall(100.0) == pytest.approx(5.0)
+        assert clock.to_virtual(5.0) == pytest.approx(100.0)
+        assert clock.to_virtual(clock.to_wall(7.0)) == pytest.approx(7.0)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ClockError):
+            WallClock(time_scale=0.0)
+        with pytest.raises(ClockError):
+            WallClock(time_scale=-1.0)
+
+
+class TestManualClock:
+    def test_advance_and_set(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(5.0)
+        assert clock.now() == 5.0
+        clock.set(9.0)
+        assert clock.now() == 9.0
+
+    def test_only_moves_forward(self):
+        clock = ManualClock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.advance(-1.0)
+        with pytest.raises(ClockError):
+            clock.set(5.0)
+
+
+class TestEnsureClock:
+    def test_passthrough(self):
+        clock = ManualClock()
+        assert ensure_clock(clock) is clock
+
+    def test_default_is_wall(self):
+        assert isinstance(ensure_clock(None), WallClock)
+
+
+class TestControllerClock:
+    """attach_clock / elapsed / decide_now on the Jockey controller."""
+
+    def _controller(self):
+        from repro.core.amdahl import AmdahlModel
+        from repro.core.control import ControlConfig
+        from repro.core.utility import deadline_utility
+        from repro.jobs.dag import JobGraph, Stage
+        from repro.jobs.profiles import JobProfile, StageProfile
+        from repro.simkit.distributions import Constant
+
+        graph = JobGraph("clocked", [Stage("all", 10)], [])
+        profile = JobProfile(
+            graph, {"all": StageProfile("all", runtime=Constant(10.0))}
+        )
+        return JockeyController(
+            AmdahlModel(profile),
+            deadline_utility(120.0),
+            ControlConfig(),
+            stage_names=profile.stage_names,
+        )
+
+    def test_elapsed_requires_clock(self):
+        controller = self._controller()
+        with pytest.raises(ControlError):
+            controller.elapsed()
+
+    def test_elapsed_tracks_attached_clock(self):
+        controller = self._controller()
+        clock = ManualClock(start=50.0)
+        controller.attach_clock(clock, start=50.0)
+        assert controller.elapsed() == 0.0
+        clock.advance(30.0)
+        assert controller.elapsed() == pytest.approx(30.0)
+
+    def test_decide_now_uses_clock_elapsed(self):
+        controller = self._controller()
+        clock = ManualClock()
+        controller.attach_clock(clock)
+        clock.advance(60.0)
+        decision = controller.decide_now({"all": 0.5})
+        explicit = self._controller().decide({"all": 0.5}, 60.0)
+        assert decision.allocation == explicit.allocation
+
+    def test_reset_run_state_clears_epoch(self):
+        controller = self._controller()
+        clock = ManualClock()
+        controller.attach_clock(clock, start=0.0)
+        clock.advance(100.0)
+        assert controller.elapsed() == pytest.approx(100.0)
+        controller.reset_run_state()
+        # The next elapsed() re-anchors at the clock's current reading.
+        assert controller.elapsed() == pytest.approx(0.0)

@@ -1,0 +1,424 @@
+"""Live service lifecycle tests: arbiter + workers, all in-process.
+
+The heavy end-to-end path (CLI serve + worker processes + loadgen) runs
+in CI's service-smoke job; here everything shares one process so the
+suite stays fast and deterministic.  Templates are injected tiny bundles
+— constant task runtimes, a handful of tasks — and time is compressed
+hard (a 30-virtual-second task is ~60 ms of wall time).
+"""
+
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro.jobs.dag import Edge, EdgeType, JobGraph, Stage
+from repro.jobs.profiles import JobProfile, StageProfile
+from repro.service import (
+    ClusterService,
+    LoadgenConfig,
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    ServiceError,
+    ServiceWorker,
+    TemplateModelStore,
+    WorkerConfig,
+    generate_workload,
+)
+from repro.service.loadgen import workload_fingerprint
+from repro.simkit.distributions import Constant
+
+
+def tiny_store(runtime_map=30.0, runtime_reduce=20.0):
+    """A 2-stage map/reduce template with constant task runtimes."""
+    graph = JobGraph(
+        "tiny",
+        [Stage("map", 6), Stage("reduce", 2)],
+        [Edge("map", "reduce", EdgeType.ALL_TO_ALL)],
+    )
+    profile = JobProfile(
+        graph,
+        {
+            "map": StageProfile("map", runtime=Constant(runtime_map)),
+            "reduce": StageProfile("reduce", runtime=Constant(runtime_reduce)),
+        },
+    )
+    store = TemplateModelStore(seed=0)
+    store.add("tiny", graph, profile, None)
+    return store
+
+
+class TestServiceConfig:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(capacity_tokens=0)
+
+    def test_rejects_bad_time_scale(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(time_scale=0.0)
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(slack=0.5)
+
+    def test_poll_interval_derived_from_time_scale(self):
+        assert ServiceConfig(time_scale=0.02).effective_poll_seconds == \
+            pytest.approx(0.04)
+        assert ServiceConfig(
+            time_scale=0.02, poll_seconds=0.2
+        ).effective_poll_seconds == pytest.approx(0.2)
+
+
+class TestLifecycle:
+    """Server + 2 workers: register, submit, poll to completion."""
+
+    @pytest.fixture(scope="class")
+    def service(self):
+        config = ServiceConfig(
+            capacity_tokens=8,
+            tick_seconds=30.0,
+            time_scale=0.002,
+            heartbeat_timeout=5.0,
+        )
+        with ClusterService(config, store=tiny_store()) as svc:
+            workers = [
+                ServiceWorker(
+                    WorkerConfig(url=svc.url, name=f"w{i}", slots=4)
+                ).start()
+                for i in (1, 2)
+            ]
+            yield svc
+            for worker in workers:
+                worker.stop()
+
+    @pytest.fixture(scope="class")
+    def client(self, service):
+        return ServiceClient(service.url)
+
+    @pytest.fixture(scope="class")
+    def finished_job(self, client):
+        reply = client.submit(
+            template="tiny", deadline_minutes=30.0, policy="jockey-no-sim"
+        )
+        info = client.wait(reply["job_id"], timeout=60.0)
+        return reply, info
+
+    def test_healthz(self, client):
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            health = client.healthz()
+            if health["workers"] == 2:
+                break
+            time.sleep(0.02)
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+
+    def test_templates_listed(self, client):
+        assert "tiny" in client.templates()["templates"]
+        info = client.template_info("tiny")
+        assert info["width"] == 6
+        assert info["min_feasible_seconds"] > 0
+
+    def test_submit_runs_to_completion(self, finished_job):
+        reply, info = finished_job
+        assert reply["status"] in ("running", "queued")
+        assert info["status"] == "completed"
+        assert info["completed_tasks"] == info["total_tasks"] == 8
+        assert info["stage_fractions"] == {"map": 1.0, "reduce": 1.0}
+        assert info["duration_seconds"] > 0
+
+    def test_result_includes_trace_accounting(self, client, finished_job):
+        reply, _info = finished_job
+        result = client.result(reply["job_id"])
+        assert result["met_deadline"] is True
+        assert result["total_cpu_seconds"] > 0
+        assert result["allocation_seconds"] > 0
+
+    def test_report_renders_text_and_html(self, client, finished_job):
+        reply, _info = finished_job
+        text = client.report(reply["job_id"], "text")
+        assert "SLO MET" in text
+        html = client.report(reply["job_id"], "html")
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+
+    def test_deadline_endpoint_reports_status(self, client, finished_job):
+        reply, _info = finished_job
+        info = client.deadline(reply["job_id"])
+        assert info["deadline_seconds"] == pytest.approx(30.0 * 60.0)
+
+    def test_command_job_executes_subprocesses(self, client):
+        reply = client.submit(
+            command={
+                "argv": [sys.executable, "-c", "pass"],
+                "tasks": 2,
+                "task_seconds": 1.0,
+            },
+            deadline_minutes=30.0,
+            policy="max-allocation",
+        )
+        info = client.wait(reply["job_id"], timeout=60.0)
+        assert info["status"] == "completed"
+        assert info["completed_tasks"] == 2
+
+    def test_metrics_exposed(self, client):
+        text = client.metrics_text()
+        assert "repro_service_jobs_submitted_total" in text
+        assert "repro_service_leases_total" in text
+
+    def test_unknown_template_rejected(self, client):
+        with pytest.raises(ServiceClientError) as err:
+            client.submit(template="no-such-shape", deadline_minutes=5.0)
+        assert "unknown template" in str(err.value)
+
+    def test_unknown_tenant_rejected(self, client):
+        with pytest.raises(ServiceClientError) as err:
+            client.submit(
+                template="tiny", deadline_minutes=5.0, tenant="nobody"
+            )
+        assert err.value.status == 404
+
+    def test_submit_needs_exactly_one_mode(self, client):
+        with pytest.raises(ServiceClientError):
+            client.submit(deadline_minutes=5.0)
+
+    def test_infeasible_deadline_rejected_with_reason(self, client):
+        reply = client.submit(
+            template="tiny", deadline_minutes=0.01, policy="jockey-no-sim"
+        )
+        assert reply["status"] == "rejected"
+        assert reply["reason"]
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(ServiceClientError) as err:
+            client.job("job-99999")
+        assert err.value.status == 404
+
+    def test_result_conflict_while_running(self, client):
+        reply = client.submit(
+            template="tiny", deadline_minutes=30.0, policy="jockey-no-sim"
+        )
+        try:
+            client.result(reply["job_id"])
+        except ServiceClientError as err:
+            assert err.status == 409
+        client.wait(reply["job_id"], timeout=60.0)
+
+
+class TestWorkerLoss:
+    """Kill a worker mid-run: heartbeat timeout must reschedule its tasks."""
+
+    def test_job_survives_worker_crash(self):
+        config = ServiceConfig(
+            capacity_tokens=8,
+            tick_seconds=10.0,
+            time_scale=0.01,           # 100-virtual-second task = 1 s wall
+            heartbeat_timeout=0.8,
+        )
+        store = tiny_store(runtime_map=100.0, runtime_reduce=50.0)
+        with ClusterService(config, store=store) as svc:
+            client = ServiceClient(svc.url)
+            victim = ServiceWorker(
+                WorkerConfig(url=svc.url, name="victim", slots=4)
+            ).start()
+            survivor = ServiceWorker(
+                WorkerConfig(url=svc.url, name="survivor", slots=4)
+            ).start()
+            reply = client.submit(
+                template="tiny", deadline_minutes=60.0, policy="jockey-no-sim"
+            )
+            job_id = reply["job_id"]
+
+            # Wait until the victim actually holds leases, then crash it.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                workers = {
+                    w["name"]: w for w in client.state()["workers"]
+                }
+                if workers["victim"]["leased_tasks"] > 0:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("victim never leased a task")
+            victim.kill()
+
+            info = client.wait(job_id, timeout=60.0)
+            assert info["status"] == "completed"
+            assert info["completed_tasks"] == info["total_tasks"]
+            # The loss was detected and attributed to the job.
+            assert info["workers_lost"] >= 1
+            workers = {w["name"]: w for w in client.state()["workers"]}
+            assert workers["victim"]["lost"] is True
+            assert workers["survivor"]["lost"] is False
+            # The arbiter is still healthy after the crash.
+            assert client.healthz()["status"] == "ok"
+            survivor.stop()
+
+    def test_zombie_completion_rejected(self):
+        """A worker that outlives its heartbeat must not report results."""
+        config = ServiceConfig(
+            capacity_tokens=4,
+            tick_seconds=10.0,
+            time_scale=0.01,
+            heartbeat_timeout=0.5,
+        )
+        store = tiny_store(runtime_map=100.0, runtime_reduce=50.0)
+        with ClusterService(config, store=store) as svc:
+            client = ServiceClient(svc.url)
+            registered = client.register_worker(name="zombie", slots=2)
+            worker_id = registered["worker_id"]
+            client.submit(
+                template="tiny", deadline_minutes=60.0,
+                policy="jockey-no-sim",
+            )
+            tasks = client.lease(worker_id, max_tasks=1)["tasks"]
+            assert tasks
+            # Go silent past the heartbeat timeout; the sweep runs on the
+            # control tick (0.1 s wall here).
+            time.sleep(1.0)
+            with pytest.raises(ServiceClientError) as err:
+                client.complete_task(
+                    task_id=tasks[0]["task_id"], worker_id=worker_id
+                )
+            assert err.value.status == 409
+
+
+class TestGracefulShutdown:
+    def test_drain_finishes_live_jobs(self):
+        config = ServiceConfig(
+            capacity_tokens=8, tick_seconds=10.0, time_scale=0.002,
+        )
+        svc = ClusterService(config, store=tiny_store())
+        svc.start()
+        client = ServiceClient(svc.url)
+        worker = ServiceWorker(
+            WorkerConfig(url=svc.url, name="w", slots=8)
+        ).start()
+        reply = client.submit(
+            template="tiny", deadline_minutes=30.0, policy="jockey-no-sim"
+        )
+        svc.stop(drain=True, timeout=30.0)
+        job = svc._jobs[reply["job_id"]]
+        assert job.status == "completed"
+        worker.stop()
+
+    def test_draining_service_refuses_submissions(self):
+        config = ServiceConfig(capacity_tokens=4, time_scale=0.002)
+        with ClusterService(config, store=tiny_store()) as svc:
+            client = ServiceClient(svc.url)
+            client.shutdown(drain=True)
+            with pytest.raises(ServiceClientError) as err:
+                client.submit(
+                    template="tiny", deadline_minutes=30.0,
+                    policy="jockey-no-sim",
+                )
+            assert err.value.status == 503
+
+
+class TestLoadgenDeterminism:
+    def test_same_seed_same_workload(self):
+        config = LoadgenConfig(jobs=12, seed=42)
+        first = generate_workload(config)
+        second = generate_workload(config)
+        assert first == second
+        assert workload_fingerprint(first) == workload_fingerprint(second)
+
+    def test_different_seed_different_workload(self):
+        base = workload_fingerprint(generate_workload(LoadgenConfig(seed=1)))
+        other = workload_fingerprint(generate_workload(LoadgenConfig(seed=2)))
+        assert base != other
+
+    def test_offsets_monotonic(self):
+        plans = generate_workload(LoadgenConfig(jobs=10, seed=3))
+        offsets = [p.offset_seconds for p in plans]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0.0
+
+    def test_rejects_bad_config(self):
+        from repro.service.loadgen import LoadgenError
+
+        with pytest.raises(LoadgenError):
+            LoadgenConfig(jobs=0)
+        with pytest.raises(LoadgenError):
+            LoadgenConfig(deadline_factors=(0.5, 2.0))
+        with pytest.raises(LoadgenError):
+            LoadgenConfig(templates=())
+
+
+class TestCliContract:
+    """Exit codes and golden help text for the service verbs."""
+
+    def run_cli(self, *argv):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_serve_bad_tenant_spec_exits_two(self):
+        code, text = self.run_cli("serve", "--tenant", "broken")
+        assert code == 2
+        assert "NAME=QUOTA" in text
+
+    def test_serve_bad_capacity_exits_two(self):
+        code, text = self.run_cli("serve", "--capacity", "0")
+        assert code == 2
+        assert "capacity" in text
+
+    def test_worker_requires_url(self):
+        code, _text = self.run_cli("worker")
+        assert code == 2
+
+    def test_worker_unreachable_arbiter_exits_one(self):
+        code, text = self.run_cli(
+            "worker", "--url", "http://127.0.0.1:9", "--name", "orphan"
+        )
+        assert code == 1
+        assert "cannot register" in text
+
+    def test_submit_requires_deadline(self):
+        code, _text = self.run_cli("submit", "--template", "tiny")
+        assert code == 2
+
+    def test_submit_requires_exactly_one_source(self):
+        code, _text = self.run_cli(
+            "submit", "--deadline-minutes", "5",
+            "--template", "tiny", "--command", "true",
+        )
+        assert code == 2
+
+    def test_submit_unreachable_service_exits_one(self):
+        code, text = self.run_cli(
+            "submit", "--url", "http://127.0.0.1:9",
+            "--template", "tiny", "--deadline-minutes", "5",
+        )
+        assert code == 1
+        assert "cannot reach" in text
+
+    def test_loadgen_bad_jobs_exits_two(self):
+        code, _text = self.run_cli("loadgen", "--jobs", "0")
+        assert code == 2
+
+    def test_loadgen_unreachable_service_exits_one(self):
+        code, text = self.run_cli(
+            "loadgen", "--url", "http://127.0.0.1:9", "--jobs", "1"
+        )
+        assert code == 1
+        assert "cannot reach" in text
+
+    @pytest.mark.parametrize("verb", ["serve", "submit"])
+    def test_help_matches_golden(self, verb, monkeypatch, capsys):
+        monkeypatch.setenv("COLUMNS", "80")
+        code, _text = self.run_cli(verb, "--help")
+        assert code == 0
+        got = capsys.readouterr().out
+        golden = (
+            pathlib.Path(__file__).parent / "golden" / f"{verb}_help.txt"
+        )
+        assert got == golden.read_text(encoding="utf-8"), (
+            f"help text drifted; regenerate tests/golden/{verb}_help.txt "
+            "(COLUMNS=80) if the change is intentional"
+        )
